@@ -1,0 +1,138 @@
+// DISSEM — §V-A: real-time remote manipulation with dissemination graphs.
+//
+// Paper claims to regenerate:
+//   * "the roundtrip latency must be no more than about 130ms, translating
+//     to a one-way latency requirement of 65ms. On the scale of a continent,
+//     where propagation delay may be around 40ms, this leaves only 20-25ms
+//     of flexibility" — too tight for NM-Strikes, so the approach combines a
+//     single-shot recovery protocol [6,7] with targeted redundancy.
+//   * "In contrast to disjoint paths, which add redundancy uniformly
+//     throughout the network, dissemination graphs can be tailored based on
+//     current network conditions to add targeted redundancy in problematic
+//     areas of the network" [2].
+//
+// Setup: 12-node circulant overlay, 10 ms ring hops; flow from node 0 to
+// node 6 (40 ms best path: 4 ring hops or 2 chords + ...). Loss problems are
+// concentrated AROUND THE DESTINATION (reference [2]'s dominant real-world
+// pattern): recurring loss bursts on the destination's incident links.
+// Schemes: single path / 2 disjoint paths / destination-problem
+// dissemination graph / constrained flooding, all with the RealtimeSimple
+// one-shot recovery protocol and a 65 ms one-way deadline.
+#include "bench_common.hpp"
+#include "client/traffic.hpp"
+#include "overlay/network.hpp"
+
+namespace {
+
+using namespace son;
+using namespace son::sim::literals;
+using overlay::NodeId;
+using overlay::RouteScheme;
+using sim::Duration;
+using sim::TimePoint;
+
+struct Result {
+  double within_65ms = 0.0;
+  double delivered = 0.0;
+  double copies = 0.0;  // overlay transmissions per message
+};
+
+Result run(RouteScheme scheme, std::uint8_t k, std::uint8_t fanin, std::uint64_t seed) {
+  sim::Simulator sim;
+  overlay::GraphOptions gopts;
+  auto fx = overlay::build_graph_fixture(sim, overlay::circulant_topology(12), gopts,
+                                         sim::Rng{seed});
+  auto& net = *fx.overlay;
+  constexpr NodeId kSrc = 0;
+  constexpr NodeId kDst = 6;
+
+  // Destination-problem loss (reference [2]'s dominant pattern): every
+  // 800 ms a 120 ms problem hits the destination's area, degrading TWO of
+  // its four incident fibers at 90% loss simultaneously; the afflicted pair
+  // rotates. Redundancy that happens to enter via the two bad fibers dies;
+  // targeted fan-in over all incident links survives.
+  const auto& g = net.designed_topology();
+  std::vector<net::LinkId> dst_fibers;
+  for (const auto& [nbr, e] : g.neighbors(kDst)) dst_fibers.push_back(fx.fiber[e]);
+  const std::size_t nf = dst_fibers.size();
+  for (int burst = 0; burst < 80; ++burst) {
+    const auto from = TimePoint::zero() + 3_s + Duration::milliseconds(burst * 800);
+    const auto until = from + 120_ms;
+    const auto i = static_cast<std::size_t>(burst) % nf;
+    const auto j = (i + 1 + static_cast<std::size_t>(burst) / nf % (nf - 1)) % nf;
+    for (const auto fiber : {dst_fibers[i], dst_fibers[j]}) {
+      const auto [a, b] = fx.internet->link_endpoints(fiber);
+      fx.internet->link_dir(fiber, a).add_forced_loss_window(from, until, 0.9);
+      fx.internet->link_dir(fiber, b).add_forced_loss_window(from, until, 0.9);
+    }
+  }
+  net.settle(3_s);
+
+  auto& src = net.node(kSrc).connect(49);
+  auto& dst = net.node(kDst).connect(50);
+  client::MeasuringSink sink{dst};
+
+  overlay::ServiceSpec spec;
+  spec.scheme = scheme;
+  spec.num_paths = k;
+  spec.dissem_dst_fanin = fanin;
+  spec.link_protocol = overlay::LinkProtocol::kRealtimeSimple;
+  spec.deadline = 65_ms;
+
+  client::CbrSender sender{sim, src,
+                           {overlay::Destination::unicast(kDst, 50), spec, 1000, 400,
+                            sim.now(), sim.now() + 60_s}};
+  std::uint64_t fwd_before = 0;
+  for (NodeId n = 0; n < net.size(); ++n) fwd_before += net.node(n).stats().forwarded;
+  sim.run_for(62_s);
+  std::uint64_t fwd_after = 0;
+  for (NodeId n = 0; n < net.size(); ++n) fwd_after += net.node(n).stats().forwarded;
+
+  Result r;
+  r.delivered = sink.delivery_ratio(sender.sent());
+  r.within_65ms = sink.delivered_within(sender.sent(), 65_ms);
+  r.copies = static_cast<double>(fwd_after - fwd_before) / static_cast<double>(sender.sent());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("DISSEM",
+                 "Dissemination graphs for 65 ms remote manipulation (§V-A, ref [2])");
+  bench::note("12-node circulant overlay, 10 ms hops; node 0 -> node 6 (~40 ms path).");
+  bench::note("Recurring 120 ms bursts of 80%% loss rotate across the destination's");
+  bench::note("incident fibers (destination-problem pattern). 1000 pkt/s for 60 s,");
+  bench::note("one-shot recovery (RealtimeSimple), deadline 65 ms one-way.");
+
+  bench::Table t{{"scheme", "in<=65ms", "delivered", "copies/msg"}, 22};
+  t.print_header();
+
+  struct S {
+    const char* label;
+    RouteScheme scheme;
+    std::uint8_t k;
+    std::uint8_t fanin;
+  };
+  const std::vector<S> schemes{
+      {"single path", RouteScheme::kDisjointPaths, 1, 0},
+      {"2 disjoint paths", RouteScheme::kDisjointPaths, 2, 0},
+      {"dissem graph (fanin 2)", RouteScheme::kDissemination, 2, 2},
+      {"constrained flooding", RouteScheme::kFlooding, 0, 0},
+  };
+  for (const auto& s : schemes) {
+    const Result r = run(s.scheme, s.k, s.fanin, 505);
+    t.cell(std::string{s.label});
+    t.cell(100.0 * r.within_65ms, "%.3f%%");
+    t.cell(100.0 * r.delivered, "%.3f%%");
+    t.cell(r.copies, "%.1f");
+    t.end_row();
+  }
+  bench::note("");
+  bench::note("Expected shape: a single path dies whenever its last hop is inside a");
+  bench::note("burst; 2 disjoint paths still lose packets when a burst covers their");
+  bench::note("shared last-hop region; the destination-problem dissemination graph");
+  bench::note("adds targeted fan-in at the destination and approaches flooding's");
+  bench::note("timeliness at a fraction of flooding's cost.");
+  return 0;
+}

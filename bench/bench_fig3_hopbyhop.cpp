@@ -1,0 +1,122 @@
+// FIG3 — Reproduces Figure 3 (§III-A): "50ms network path vs. five 10ms
+// overlay links".
+//
+// Paper claims to regenerate:
+//   * End-to-end ARQ over a 50 ms path: a recovered packet needs >= 1 extra
+//     RTT, so >= 150 ms total (50 + 100).
+//   * Five 10 ms overlay links with hop-by-hop recovery: a recovered packet
+//     needs only >= 20 ms extra, so >= 70 ms total.
+//   * Hop-by-hop recovery + out-of-order forwarding "significantly reduce
+//     the latency and jitter of reliable communication".
+//
+// Both configurations run over IDENTICAL underlay fiber (the direct overlay
+// link rides the same five physical hops); only where the ARQ runs differs.
+#include "bench_common.hpp"
+#include "client/traffic.hpp"
+#include "overlay/network.hpp"
+
+namespace {
+
+using namespace son;
+using namespace son::sim::literals;
+using overlay::LinkProtocol;
+using overlay::RouteScheme;
+using sim::Duration;
+
+struct RunResult {
+  std::uint64_t sent = 0;
+  std::uint64_t received = 0;
+  sim::SampleSet latency;       // all delivered packets, ms
+  sim::SampleSet recovered;     // packets that clearly needed recovery, ms
+  double jitter_ms = 0.0;       // stddev of latency
+};
+
+RunResult run(double per_hop_loss, bool hop_by_hop, std::uint64_t seed) {
+  sim::Simulator sim;
+  overlay::ChainOptions opts;
+  opts.n_nodes = 6;
+  opts.hop_latency = 10_ms;
+  auto fx = overlay::build_chain(sim, opts, sim::Rng{seed});
+  for (const auto link : fx.hop_links) {
+    const auto [a, b] = fx.internet->link_endpoints(link);
+    fx.internet->link_dir(link, a).set_loss_model(net::make_bernoulli(per_hop_loss));
+    fx.internet->link_dir(link, b).set_loss_model(net::make_bernoulli(per_hop_loss));
+  }
+  fx.overlay->settle(3_s);
+
+  auto& src = fx.overlay->node(0).connect(100);
+  auto& dst = fx.overlay->node(5).connect(200);
+  client::MeasuringSink sink{dst};
+
+  overlay::ServiceSpec spec;
+  spec.scheme = RouteScheme::kDissemination;  // explicit mask
+  spec.custom_mask = hop_by_hop ? fx.chain_mask() : fx.direct_mask();
+  spec.link_protocol = LinkProtocol::kReliable;
+
+  client::CbrSender sender{sim, src,
+                           {overlay::Destination::unicast(5, 200), spec, 1000, 1200,
+                            sim.now(), sim.now() + 20_s}};
+  sim.run_for(30_s);
+
+  RunResult r;
+  r.sent = sender.sent();
+  r.received = sink.received();
+  sim::OnlineStats on;
+  // "Recovered" = needed at least one retransmission. No-loss delivery is
+  // ~50.6 ms (5x10 ms fiber + per-node processing) in both configurations;
+  // anything above 62 ms clearly went through recovery.
+  for (const double v : sink.latencies_ms().sorted_values()) {
+    r.latency.add(v);
+    on.add(v);
+    if (v > 62.0) r.recovered.add(v);
+  }
+  r.jitter_ms = on.stddev();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("FIG3", "Hop-by-hop recovery vs end-to-end recovery (Fig. 3, §III-A)");
+  bench::note("Topology: 6 overlay nodes in a chain, 5 fiber hops of 10 ms each (50 ms e2e).");
+  bench::note("Flow: 1000 pkt/s CBR, 1200 B, Reliable Data Link, 20 s of traffic.");
+  bench::note("'e2e' runs the ARQ on one direct 50 ms overlay link over the same fiber;");
+  bench::note("'hop' runs the ARQ independently on each 10 ms overlay link.");
+  bench::note("Paper: recovered packet needs >=150 ms e2e, but only >=70 ms hop-by-hop.");
+
+  bench::Table t{{"loss/hop", "scheme", "delivered", "p50 ms", "p99 ms", "max ms",
+                  "jitter ms", "rec p50", "rec min"}};
+  t.print_header();
+  for (const double loss : {0.001, 0.005, 0.01, 0.02, 0.05}) {
+    for (const bool hop : {false, true}) {
+      const RunResult r = run(loss, hop, 1000 + static_cast<std::uint64_t>(loss * 10000));
+      t.cell(loss * 100.0, "%.1f%%");
+      t.cell(std::string{hop ? "hop-by-hop" : "e2e"});
+      t.cell(100.0 * static_cast<double>(r.received) / static_cast<double>(r.sent), "%.3f%%");
+      t.cell(r.latency.quantile(0.5));
+      t.cell(r.latency.quantile(0.99));
+      t.cell(r.latency.max());
+      t.cell(r.jitter_ms, "%.3f");
+      t.cell(r.recovered.empty() ? 0.0 : r.recovered.quantile(0.5));
+      t.cell(r.recovered.empty() ? 0.0 : r.recovered.min());
+      t.end_row();
+    }
+  }
+  bench::note("Expected shape: e2e recovered-packet minimum ~150 ms; hop-by-hop ~70 ms;");
+  bench::note("hop-by-hop p99 and jitter stay far lower as loss grows.");
+
+  // The figure itself: delivery-latency distributions at 1% per-hop loss.
+  std::printf("\n  Latency distribution at 1%% loss/hop (ms buckets, log-ish view):\n");
+  for (const bool hop : {false, true}) {
+    const RunResult r = run(0.01, hop, 1010);
+    sim::Histogram h{40.0, 200.0, 16};
+    for (const double v : r.latency.sorted_values()) h.add(v);
+    std::printf("\n  %s:\n%s", hop ? "five 10 ms overlay links (hop-by-hop recovery)"
+                                   : "one 50 ms path (end-to-end recovery)",
+                h.render(48).c_str());
+  }
+  bench::note("");
+  bench::note("The e2e distribution has its recovery mass at ~150-160 ms; hop-by-hop");
+  bench::note("concentrates it at ~70-75 ms — Figure 3 in histogram form.");
+  return 0;
+}

@@ -1,0 +1,243 @@
+// ITDISJ + ITFAIR — §IV-B intrusion-tolerant messaging claims.
+//
+// Part 1 (ITDISJ): "By using k node-disjoint paths, a source can protect
+// against up to k-1 compromised nodes anywhere in the network... a source
+// can use constrained flooding [which] ensures that messages are
+// successfully delivered as long as at least one path of correct nodes
+// exists between the source and destination."
+//   Sweep f = 0..4 random compromised (blackholing) interior nodes and
+//   measure delivery for link-state / 2-disjoint / 3-disjoint / flooding,
+//   plus the redundancy cost (copies forwarded per message).
+//
+// Part 2 (ITFAIR): "Both Priority and Reliable messaging use fair buffer
+// allocation and round-robin scheduling to ensure that a compromised source
+// cannot consume the resources of other sources."
+//   One attacker floods at 10x the fair rate through a rate-limited overlay
+//   link shared with 4 correct sources; compare per-source goodput under a
+//   naive shared-FIFO (best effort through a thin underlay pipe) vs the
+//   IT-Priority fair scheduler.
+#include <map>
+
+#include "bench_common.hpp"
+#include "client/traffic.hpp"
+#include "overlay/network.hpp"
+
+namespace {
+
+using namespace son;
+using namespace son::sim::literals;
+using overlay::NodeId;
+using overlay::RouteScheme;
+using sim::Duration;
+
+// ---------- Part 1: redundant dissemination vs compromised nodes -----------
+
+struct SchemeResult {
+  double delivery = 0.0;   // averaged over trials
+  double worst = 1.0;      // worst trial
+  double copies = 0.0;     // forwarded copies per message (network cost)
+};
+
+SchemeResult run_disjoint_trials(RouteScheme scheme, std::uint8_t k, int f, int trials) {
+  SchemeResult out;
+  double total = 0.0;
+  double copies = 0.0;
+  for (int trial = 0; trial < trials; ++trial) {
+    sim::Simulator sim;
+    overlay::GraphOptions gopts;
+    auto fx = overlay::build_graph_fixture(
+        sim, overlay::circulant_topology(12), gopts,
+        sim::Rng{static_cast<std::uint64_t>(7000 + trial)});
+    auto& net = *fx.overlay;
+    net.settle(3_s);
+
+    constexpr NodeId kSrc = 0;
+    constexpr NodeId kDst = 6;  // diametrically opposite on the ring
+    // Choose f distinct compromised interior nodes.
+    sim::Rng pick{static_cast<std::uint64_t>(9000 + trial * 31 + f)};
+    std::vector<NodeId> interior;
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (n != kSrc && n != kDst) interior.push_back(n);
+    }
+    pick.shuffle(interior);
+    for (int i = 0; i < f; ++i) {
+      net.node(interior[static_cast<std::size_t>(i)])
+          .set_compromise(overlay::CompromiseBehavior::blackhole());
+    }
+
+    auto& src = net.node(kSrc).connect(49);
+    auto& dst = net.node(kDst).connect(50);
+    client::MeasuringSink sink{dst};
+    overlay::ServiceSpec spec;
+    spec.scheme = scheme;
+    spec.num_paths = k;
+    const int n_msgs = 50;
+    std::uint64_t fwd_before = 0;
+    for (NodeId n = 0; n < net.size(); ++n) fwd_before += net.node(n).stats().forwarded;
+    for (int i = 0; i < n_msgs; ++i) {
+      src.send(overlay::Destination::unicast(kDst, 50), overlay::make_payload(400), spec);
+    }
+    sim.run_for(2_s);
+    std::uint64_t fwd_after = 0;
+    for (NodeId n = 0; n < net.size(); ++n) fwd_after += net.node(n).stats().forwarded;
+
+    const double ratio = sink.delivery_ratio(n_msgs);
+    total += ratio;
+    out.worst = std::min(out.worst, ratio);
+    copies += static_cast<double>(fwd_after - fwd_before) / n_msgs;
+  }
+  out.delivery = total / trials;
+  out.copies = copies / trials;
+  return out;
+}
+
+void part1() {
+  bench::heading("ITDISJ",
+                 "Redundant dissemination vs compromised overlay nodes (§IV-B)");
+  bench::note("12-node circulant overlay C12(1,2) (vertex connectivity 4, so 3 node-");
+  bench::note("disjoint paths exist between every pair — continental maps are typically");
+  bench::note("only 2-connected coast-to-coast). f random interior nodes blackhole all");
+  bench::note("transit data while behaving correctly in the control plane (stealthy).");
+  bench::note("Node 0 -> node 6, 50 messages, 20 random compromise sets per cell.");
+  bench::note("'copies' = overlay transmissions per message (redundancy cost).");
+
+  struct Scheme {
+    const char* label;
+    RouteScheme scheme;
+    std::uint8_t k;
+  };
+  const std::vector<Scheme> schemes{
+      {"link-state (1 path)", RouteScheme::kLinkState, 1},
+      {"2 disjoint paths", RouteScheme::kDisjointPaths, 2},
+      {"3 disjoint paths", RouteScheme::kDisjointPaths, 3},
+      {"constrained flooding", RouteScheme::kFlooding, 0},
+  };
+
+  bench::Table t{{"scheme", "f=0", "f=1", "f=2", "f=3", "f=4", "copies"}, 13};
+  std::printf("%22s", "");
+  t.print_header();
+  for (const auto& s : schemes) {
+    std::printf("%22s", s.label);
+    double copies = 0.0;
+    for (int f = 0; f <= 4; ++f) {
+      const auto r = run_disjoint_trials(s.scheme, s.k, f, 20);
+      t.cell(100.0 * r.delivery, "%.1f%%");
+      copies = std::max(copies, r.copies);
+    }
+    t.cell(copies, "%.1f");
+    t.end_row();
+  }
+  bench::note("");
+  bench::note("Expected shape: k disjoint paths tolerate f <= k-1 compromises (100%%)");
+  bench::note("and degrade only when f >= k; flooding survives everything except");
+  bench::note("partition of correct nodes, at the highest redundancy cost.");
+}
+
+// ---------- Part 2: fair scheduling under a resource-consumption attack ------
+
+void part2() {
+  bench::heading("ITFAIR",
+                 "Fair round-robin scheduling under a flooding source (§IV-B)");
+  bench::note("Two overlay nodes, one overlay link able to carry ~1000 msg/s. 4 correct");
+  bench::note("sources send 150 msg/s each; 1 compromised source floods at 5000 msg/s.");
+  bench::note("'shared FIFO' = best-effort through a bandwidth-limited pipe;");
+  bench::note("'IT-Priority' = per-source buffers + round-robin egress + HMAC auth.");
+
+  struct Run {
+    const char* label;
+    bool fair;
+  };
+  const std::vector<Run> runs{{"shared FIFO", false}, {"IT-Priority", true}};
+
+  bench::Table t{{"scheme", "src1", "src2", "src3", "src4", "attacker", "total"}, 11};
+  std::printf("%14s", "");
+  t.print_header();
+
+  for (const auto& run : runs) {
+    // Star topology: 5 source overlay nodes (0..4; node 4 is the attacker)
+    // feed a relay (5) that forwards everything over one bottleneck overlay
+    // link to the destination (6). Fairness in §IV-B is per SOURCE overlay
+    // node, enforced at the relay's egress to the bottleneck.
+    sim::Simulator sim;
+    sim::Rng rng{77};
+    net::Internet inet{sim, rng.fork(1)};
+    const auto isp = inet.add_isp("one");
+    std::vector<net::RouterId> routers;
+    std::vector<net::HostId> hosts;
+    for (int i = 0; i < 7; ++i) {
+      routers.push_back(inet.add_router(isp, "r" + std::to_string(i)));
+      hosts.push_back(inet.add_host("h" + std::to_string(i)));
+      net::LinkConfig access;
+      access.prop_delay = sim::Duration::microseconds(50);
+      access.bandwidth_bps = 1e9;
+      inet.attach_host(hosts.back(), routers.back(), access);
+    }
+    net::LinkConfig fat;
+    fat.prop_delay = 2_ms;
+    fat.bandwidth_bps = 1e9;
+    for (int i = 0; i < 5; ++i) inet.add_link(routers[static_cast<std::size_t>(i)], routers[5], fat);
+    net::LinkConfig bottleneck = fat;
+    bottleneck.prop_delay = 5_ms;
+    // FIFO case: the wire itself is the bottleneck (~1000 x 588B msgs/s).
+    // Fair case: a fat wire; the IT egress pacer enforces the same 1000/s.
+    bottleneck.bandwidth_bps = run.fair ? 1e9 : 1000.0 * (500 + 88) * 8;
+    bottleneck.max_queue_delay = 50_ms;
+    inet.add_link(routers[5], routers[6], bottleneck);
+
+    topo::Graph g(7);
+    for (topo::NodeIndex i = 0; i < 5; ++i) g.add_edge(i, 5, 2.0);
+    g.add_edge(5, 6, 5.0);
+    overlay::NodeConfig cfg;
+    cfg.authenticate = run.fair;
+    cfg.link_protocols.it_egress_msgs_per_sec = 1000;
+    cfg.link_protocols.it_buffer_per_source = 32;
+    overlay::OverlayNetwork net{sim, inet, g, hosts, cfg, rng.fork(2)};
+    net.settle(2_s);
+
+    overlay::ServiceSpec spec;
+    spec.link_protocol =
+        run.fair ? overlay::LinkProtocol::kITPriority : overlay::LinkProtocol::kBestEffort;
+
+    auto& dst = net.node(6).connect(50);
+    std::map<overlay::NodeId, std::uint64_t> got;
+    dst.set_handler([&](const overlay::Message& m, Duration) { ++got[m.hdr.origin]; });
+
+    std::vector<std::unique_ptr<client::CbrSender>> senders;
+    for (overlay::NodeId s = 0; s < 4; ++s) {
+      auto& c = net.node(s).connect(10);
+      senders.push_back(std::make_unique<client::CbrSender>(
+          sim, c,
+          client::CbrSender::Options{overlay::Destination::unicast(6, 50), spec, 150, 500,
+                                     sim.now(), sim.now() + 10_s}));
+    }
+    auto& attacker = net.node(4).connect(10);
+    senders.push_back(std::make_unique<client::CbrSender>(
+        sim, attacker,
+        client::CbrSender::Options{overlay::Destination::unicast(6, 50), spec, 5000, 500,
+                                   sim.now(), sim.now() + 10_s}));
+    sim.run_for(12_s);
+
+    std::printf("%14s", run.label);
+    std::uint64_t total = 0;
+    for (const overlay::NodeId p : {0, 1, 2, 3, 4}) {
+      t.cell(got[p]);
+      total += got[p];
+    }
+    t.cell(total);
+    t.end_row();
+  }
+  bench::note("");
+  bench::note("Expected shape: under the shared FIFO the attacker (33x each correct");
+  bench::note("source's rate) grabs nearly every open queue slot and the correct");
+  bench::note("sources starve almost completely; IT-Priority's per-source buffers and");
+  bench::note("round-robin egress deliver the correct sources' full 150 msg/s each,");
+  bench::note("and only the attacker is clamped to the leftover capacity.");
+}
+
+}  // namespace
+
+int main() {
+  part1();
+  part2();
+  return 0;
+}

@@ -1,0 +1,176 @@
+// REROUTE — §II-A: "allowing fast reactions to changes in the network, with
+// the ability to route around problems at a sub-second scale. This is in
+// contrast to the 40 seconds to minutes that BGP may take to converge during
+// some network faults."
+//
+// Scenario: a continuous NYC->LAX flow at 500 pkt/s over the continental-US
+// dual-ISP deployment. At t=10 s a fiber on the in-use route is cut. Three
+// configurations:
+//   (a) native IP (no overlay): the flow rides raw datagrams; the cut
+//       blackholes it for the BGP convergence delay (40 s).
+//   (b) overlay, one ISP's fiber cut: the overlay link stays up by failing
+//       over to the second ISP's channel (multihoming, Fig. 1) — outage is
+//       just the hello-based detection time.
+//   (c) overlay, BOTH ISPs' fiber cut: the overlay link goes down; the
+//       connectivity graph maintenance floods the change and traffic
+//       reroutes around it at the overlay level — still sub-second.
+//
+// Metric: the longest gap in delivery at the receiver, plus messages lost.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "client/traffic.hpp"
+#include "overlay/network.hpp"
+
+namespace {
+
+using namespace son;
+using namespace son::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+
+struct GapResult {
+  double max_gap_ms = 0.0;
+  std::uint64_t lost = 0;
+  std::uint64_t sent = 0;
+};
+
+GapResult analyze(const std::vector<double>& arrivals_s, std::uint64_t sent,
+                  std::uint64_t received, double start_s, double end_s) {
+  GapResult g;
+  g.sent = sent;
+  g.lost = sent - received;
+  double prev = start_s;
+  for (const double a : arrivals_s) {
+    g.max_gap_ms = std::max(g.max_gap_ms, (a - prev) * 1000.0);
+    prev = a;
+  }
+  g.max_gap_ms = std::max(g.max_gap_ms, (end_s - prev) * 1000.0);
+  return g;
+}
+
+constexpr double kRate = 500.0;
+const Duration kRunFor = 60_s;
+const TimePoint kCutAt = TimePoint::zero() + 10_s;
+
+/// (a) Native IP: raw datagrams NYC host -> LAX host, no overlay.
+GapResult run_native() {
+  sim::Simulator sim;
+  net::Internet inet{sim, sim::Rng{1}};
+  const auto map = topo::continental_us();
+  const auto u = topo::build_dual_isp(inet, map, topo::DualIspOptions{});
+
+  std::vector<double> arrivals;
+  std::uint64_t received = 0;
+  inet.bind(u.hosts[9], [&](const net::Datagram&) {
+    ++received;
+    arrivals.push_back(sim.now().to_seconds_f());
+  });
+  std::uint64_t sent = 0;
+  std::function<void()> tick = [&]() {
+    if (sim.now() >= TimePoint::zero() + kRunFor) return;
+    net::Datagram d;
+    d.src = u.hosts[0];
+    d.dst = u.hosts[9];
+    // Pin to ISP A (single-provider customer), the provider whose fiber is cut.
+    net::Internet::SendOptions opts;
+    opts.src_attach = 0;
+    opts.dst_attach = 0;
+    inet.send(std::move(d), opts);
+    ++sent;
+    sim.schedule(Duration::from_seconds_f(1.0 / kRate), tick);
+  };
+  sim.schedule(Duration::zero(), tick);
+
+  // Cut the ISP A fiber on the believed route NYC->LAX. The designed route
+  // goes through CHI/DEN or the south; cut whatever link the route uses
+  // first: find it from the router path.
+  sim.schedule_at(kCutAt, [&]() {
+    const auto path = inet.path_routers(u.hosts[0], 0, u.hosts[9], 0);
+    if (path && path->size() >= 2) {
+      const auto link = inet.find_link((*path)[0], (*path)[1]);
+      inet.set_link_up(link, false);
+    }
+  });
+  sim.run_until(TimePoint::zero() + kRunFor);
+  return analyze(arrivals, sent, received, 0.0, kRunFor.to_seconds_f());
+}
+
+/// (b)/(c) Overlay flow; cut one or both ISPs' fiber under the first overlay
+/// link of the route in use.
+GapResult run_overlay(bool cut_both_isps) {
+  sim::Simulator sim;
+  net::Internet inet{sim, sim::Rng{2}};
+  const auto map = topo::continental_us();
+  const auto u = topo::build_dual_isp(inet, map, topo::DualIspOptions{});
+  overlay::NodeConfig cfg;
+  overlay::OverlayNetwork net{sim, inet, map, u, cfg, sim::Rng{3}};
+  net.settle(3_s);
+
+  auto& src = net.node(0).connect(49);   // NYC
+  auto& dst = net.node(9).connect(50);   // LAX
+  std::vector<double> arrivals;
+  client::MeasuringSink sink{dst};
+  sink.on_message([&](const overlay::Message&, Duration) {
+    arrivals.push_back(sim.now().to_seconds_f());
+  });
+
+  overlay::ServiceSpec spec;  // link-state + best effort: pure rerouting test
+  client::CbrSender sender{sim, src,
+                           {overlay::Destination::unicast(9, 50), spec, kRate, 800,
+                            sim.now(), TimePoint::zero() + 3_s + kRunFor}};
+
+  sim.schedule_at(TimePoint::zero() + 3_s + (kCutAt - TimePoint::zero()), [&]() {
+    // Cut the fiber (both ISPs' copies if requested) under the first overlay
+    // link of the current route.
+    const overlay::LinkBit nh = net.node(0).router().next_hop(9);
+    inet.set_link_up(u.links_a[nh], false);
+    if (cut_both_isps) inet.set_link_up(u.links_b[nh], false);
+  });
+  sim.run_until(TimePoint::zero() + 3_s + kRunFor);
+  return analyze(arrivals, sender.sent(), sink.received(), 3.0,
+                 3.0 + kRunFor.to_seconds_f());
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("REROUTE",
+                 "Sub-second overlay rerouting vs BGP convergence (§II-A, Fig. 1)");
+  bench::note("Flow: NYC -> LAX, 500 pkt/s for 60 s; fiber cut at t=10 s on the route");
+  bench::note("in use. Internet BGP-style convergence delay: 40 s. Overlay hellos:");
+  bench::note("100 ms, 3 misses to declare a channel dead.");
+
+  bench::Table t{{"configuration", "max gap ms", "lost", "sent", "downtime"}, 16};
+  t.print_header();
+
+  const GapResult native = run_native();
+  t.cell(std::string{"native IP"});
+  t.cell(native.max_gap_ms, "%.0f");
+  t.cell(native.lost);
+  t.cell(native.sent);
+  t.cell(std::string{"BGP (~40s)"});
+  t.end_row();
+
+  const GapResult one = run_overlay(false);
+  t.cell(std::string{"overlay, 1 ISP cut"});
+  t.cell(one.max_gap_ms, "%.0f");
+  t.cell(one.lost);
+  t.cell(one.sent);
+  t.cell(std::string{"ISP failover"});
+  t.end_row();
+
+  const GapResult both = run_overlay(true);
+  t.cell(std::string{"overlay, 2 ISPs cut"});
+  t.cell(both.max_gap_ms, "%.0f");
+  t.cell(both.lost);
+  t.cell(both.sent);
+  t.cell(std::string{"overlay reroute"});
+  t.end_row();
+
+  bench::note("");
+  bench::note("Expected shape: native IP goes dark for ~40,000 ms (BGP); the overlay");
+  bench::note("restores the flow in hundreds of ms — via multihoming when one provider");
+  bench::note("fails, via overlay-level rerouting when the link is fully severed.");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "client/socket.hpp"
+
+namespace son::client {
+
+overlay::Destination resolve(OverlayAddress addr, overlay::VirtualPort port) {
+  if (is_anycast(addr)) return overlay::Destination::anycast(addr);
+  if (is_multicast(addr)) return overlay::Destination::multicast(addr);
+  return overlay::Destination::unicast(static_cast<overlay::NodeId>(addr), port);
+}
+
+OverlaySocket::OverlaySocket(overlay::OverlayNode& node, overlay::VirtualPort port)
+    : endpoint_{node.connect(port)} {
+  endpoint_.set_handler([this](const overlay::Message& m, sim::Duration latency) {
+    if (queue_.size() >= rcvbuf_) {
+      queue_.pop_front();
+      ++dropped_full_;
+    }
+    Received r;
+    if (m.payload) r.data.assign(m.payload->begin(), m.payload->end());
+    r.from = unicast_address(m.hdr.origin);
+    r.from_port = m.hdr.src_port;
+    r.latency = latency;
+    queue_.push_back(std::move(r));
+  });
+}
+
+int OverlaySocket::sendto(std::span<const std::uint8_t> data, OverlayAddress to,
+                          overlay::VirtualPort to_port) {
+  const bool ok = endpoint_.send(resolve(to, to_port),
+                                 overlay::make_payload({data.begin(), data.end()}), spec_);
+  return ok ? static_cast<int>(data.size()) : -1;
+}
+
+int OverlaySocket::sendto(std::string_view data, OverlayAddress to,
+                          overlay::VirtualPort to_port) {
+  return sendto(
+      std::span{reinterpret_cast<const std::uint8_t*>(data.data()), data.size()}, to,
+      to_port);
+}
+
+std::optional<OverlaySocket::Received> OverlaySocket::recvfrom() {
+  if (queue_.empty()) return std::nullopt;
+  Received r = std::move(queue_.front());
+  queue_.pop_front();
+  return r;
+}
+
+void OverlaySocket::join(OverlayAddress group_address) { endpoint_.join(group_address); }
+void OverlaySocket::leave(OverlayAddress group_address) { endpoint_.leave(group_address); }
+
+OverlayAddress OverlaySocket::local_address() const {
+  return unicast_address(endpoint_.node());
+}
+
+}  // namespace son::client

@@ -1,0 +1,87 @@
+// Unix-socket-style veneer over the overlay session interface.
+//
+// §II-B: "Applications can either connect to the overlay via an API similar
+// to the Unix sockets interface or use seamless packet interception
+// techniques... Clients are identified by the IP address of the overlay node
+// to which they connect and a virtual port, mimicking the IP address plus
+// port addressing scheme of the Internet. Anycast and multicast are
+// implemented similarly as part of the IP space, just like in IP."
+//
+// Overlay addresses are 32-bit, with class-D-like ranges for groups:
+//   [0x00000000, 0xE0000000)  unicast: the overlay node id
+//   [0xE0000000, 0xF0000000)  multicast group
+//   [0xF0000000, 0xFFFFFFFF]  anycast group
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <span>
+
+#include "overlay/node.hpp"
+
+namespace son::client {
+
+using OverlayAddress = std::uint32_t;
+
+inline constexpr OverlayAddress kMulticastBase = 0xE0000000;
+inline constexpr OverlayAddress kAnycastBase = 0xF0000000;
+
+[[nodiscard]] constexpr OverlayAddress unicast_address(overlay::NodeId node) { return node; }
+[[nodiscard]] constexpr OverlayAddress multicast_address(std::uint32_t group) {
+  return kMulticastBase | (group & 0x0FFFFFFF);
+}
+[[nodiscard]] constexpr OverlayAddress anycast_address(std::uint32_t group) {
+  return kAnycastBase | (group & 0x0FFFFFFF);
+}
+[[nodiscard]] constexpr bool is_multicast(OverlayAddress a) {
+  return a >= kMulticastBase && a < kAnycastBase;
+}
+[[nodiscard]] constexpr bool is_anycast(OverlayAddress a) { return a >= kAnycastBase; }
+
+/// Resolves an (address, port) pair to an overlay Destination.
+[[nodiscard]] overlay::Destination resolve(OverlayAddress addr, overlay::VirtualPort port);
+
+/// A datagram socket bound to (node, port). Received messages queue in the
+/// socket buffer until read — the familiar non-blocking recvfrom() shape.
+class OverlaySocket {
+ public:
+  OverlaySocket(overlay::OverlayNode& node, overlay::VirtualPort port);
+
+  /// Default per-flow services used by sendto (like setsockopt).
+  void set_service(const overlay::ServiceSpec& spec) { spec_ = spec; }
+  /// Bounded receive buffer; oldest datagrams drop when full (like SO_RCVBUF).
+  void set_receive_buffer(std::size_t msgs) { rcvbuf_ = msgs; }
+
+  /// Returns bytes queued for transmission, or -1 if the overlay refused
+  /// (no route / backpressure) — errno-style.
+  int sendto(std::span<const std::uint8_t> data, OverlayAddress to,
+             overlay::VirtualPort to_port);
+  int sendto(std::string_view data, OverlayAddress to, overlay::VirtualPort to_port);
+
+  struct Received {
+    std::vector<std::uint8_t> data;
+    OverlayAddress from;  // unicast address of the origin node
+    overlay::VirtualPort from_port;
+    sim::Duration latency;
+  };
+  /// Non-blocking: nullopt when the buffer is empty.
+  std::optional<Received> recvfrom();
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t dropped_full() const { return dropped_full_; }
+
+  /// IGMP-ish group management (multicast AND anycast addresses).
+  void join(OverlayAddress group_address);
+  void leave(OverlayAddress group_address);
+
+  [[nodiscard]] OverlayAddress local_address() const;
+  [[nodiscard]] overlay::VirtualPort local_port() const { return endpoint_.port(); }
+
+ private:
+  overlay::ClientEndpoint& endpoint_;
+  overlay::ServiceSpec spec_;
+  std::deque<Received> queue_;
+  std::size_t rcvbuf_ = 1024;
+  std::uint64_t dropped_full_ = 0;
+};
+
+}  // namespace son::client

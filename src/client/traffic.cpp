@@ -1,0 +1,75 @@
+#include "client/traffic.hpp"
+
+namespace son::client {
+
+CbrSender::CbrSender(sim::Simulator& sim, overlay::ClientEndpoint& client, Options opts)
+    : sim_{sim},
+      client_{client},
+      opts_{opts},
+      payload_{overlay::make_payload(opts.payload_bytes)} {
+  timer_ = sim_.schedule_at(opts_.start, [this]() { tick(); });
+}
+
+CbrSender::~CbrSender() { sim_.cancel(timer_); }
+
+void CbrSender::tick() {
+  timer_ = sim::kInvalidEventId;
+  if (sim_.now() >= opts_.stop) return;
+  if (client_.send(opts_.dest, payload_, opts_.spec)) {
+    ++sent_;
+  } else {
+    ++blocked_;
+  }
+  const auto interval = sim::Duration::from_seconds_f(1.0 / opts_.rate_pps);
+  timer_ = sim_.schedule(interval, [this]() { tick(); });
+}
+
+PoissonSender::PoissonSender(sim::Simulator& sim, overlay::ClientEndpoint& client,
+                             Options opts, sim::Rng rng)
+    : sim_{sim},
+      client_{client},
+      opts_{opts},
+      rng_{rng},
+      payload_{overlay::make_payload(opts.payload_bytes)} {
+  timer_ = sim_.schedule_at(opts_.start, [this]() { tick(); });
+}
+
+PoissonSender::~PoissonSender() { sim_.cancel(timer_); }
+
+void PoissonSender::tick() {
+  timer_ = sim::kInvalidEventId;
+  if (sim_.now() >= opts_.stop) return;
+  if (client_.send(opts_.dest, payload_, opts_.spec)) {
+    ++sent_;
+  } else {
+    ++blocked_;
+  }
+  const auto gap = sim::Duration::from_seconds_f(rng_.exponential(1.0 / opts_.rate_pps));
+  timer_ = sim_.schedule(gap, [this]() { tick(); });
+}
+
+MeasuringSink::MeasuringSink(overlay::ClientEndpoint& client) {
+  client.set_handler([this](const overlay::Message& m, sim::Duration latency) {
+    if (!seen_.insert(m.hdr.origin_id).second) {
+      ++duplicates_;
+      return;
+    }
+    ++received_;
+    highest_seq_ = std::max(highest_seq_, m.hdr.flow_seq);
+    latencies_ms_.add(latency.to_millis_f());
+    if (extra_) extra_(m, latency);
+  });
+}
+
+double MeasuringSink::delivered_within(std::uint64_t sent, sim::Duration deadline) const {
+  if (sent == 0) return 0.0;
+  const double frac_of_received = latencies_ms_.fraction_at_most(deadline.to_millis_f());
+  return frac_of_received * static_cast<double>(received_) / static_cast<double>(sent);
+}
+
+double MeasuringSink::delivery_ratio(std::uint64_t sent) const {
+  if (sent == 0) return 0.0;
+  return static_cast<double>(received_) / static_cast<double>(sent);
+}
+
+}  // namespace son::client

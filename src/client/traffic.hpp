@@ -1,0 +1,110 @@
+// Client-side workload generators and measurement sinks used by the example
+// applications and every benchmark harness.
+#pragma once
+
+#include <functional>
+#include <unordered_set>
+#include <string>
+
+#include "overlay/node.hpp"
+#include "sim/stats.hpp"
+
+namespace son::client {
+
+/// Constant-bit-rate sender (video frames, telemetry ticks).
+class CbrSender {
+ public:
+  struct Options {
+    overlay::Destination dest;
+    overlay::ServiceSpec spec;
+    double rate_pps = 1000;        // packets per second
+    std::size_t payload_bytes = 1200;
+    sim::TimePoint start;
+    sim::TimePoint stop;           // no packets at/after this time
+  };
+
+  CbrSender(sim::Simulator& sim, overlay::ClientEndpoint& client, Options opts);
+  ~CbrSender();
+  CbrSender(const CbrSender&) = delete;
+  CbrSender& operator=(const CbrSender&) = delete;
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t blocked() const { return blocked_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  overlay::ClientEndpoint& client_;
+  Options opts_;
+  overlay::Payload payload_;  // shared across sends
+  std::uint64_t sent_ = 0;
+  std::uint64_t blocked_ = 0;
+  sim::EventId timer_ = sim::kInvalidEventId;
+};
+
+/// Poisson-arrival sender (monitoring events, control commands).
+class PoissonSender {
+ public:
+  struct Options {
+    overlay::Destination dest;
+    overlay::ServiceSpec spec;
+    double rate_pps = 100;
+    std::size_t payload_bytes = 400;
+    sim::TimePoint start;
+    sim::TimePoint stop;
+  };
+
+  PoissonSender(sim::Simulator& sim, overlay::ClientEndpoint& client, Options opts,
+                sim::Rng rng);
+  ~PoissonSender();
+  PoissonSender(const PoissonSender&) = delete;
+  PoissonSender& operator=(const PoissonSender&) = delete;
+
+  [[nodiscard]] std::uint64_t sent() const { return sent_; }
+  [[nodiscard]] std::uint64_t blocked() const { return blocked_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  overlay::ClientEndpoint& client_;
+  Options opts_;
+  sim::Rng rng_;
+  overlay::Payload payload_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t blocked_ = 0;
+  sim::EventId timer_ = sim::kInvalidEventId;
+};
+
+/// Receiver that records per-message one-way latency and, given the sender's
+/// flow sequence numbers, detects gaps/duplicates.
+class MeasuringSink {
+ public:
+  explicit MeasuringSink(overlay::ClientEndpoint& client);
+
+  [[nodiscard]] std::uint64_t received() const { return received_; }
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  [[nodiscard]] const sim::SampleSet& latencies_ms() const { return latencies_ms_; }
+  [[nodiscard]] std::uint64_t highest_seq() const { return highest_seq_; }
+
+  /// Fraction of messages (out of `sent`) delivered within `deadline`.
+  [[nodiscard]] double delivered_within(std::uint64_t sent, sim::Duration deadline) const;
+  /// Delivery ratio out of `sent`.
+  [[nodiscard]] double delivery_ratio(std::uint64_t sent) const;
+
+  /// Optional extra callback per delivery.
+  void on_message(std::function<void(const overlay::Message&, sim::Duration)> fn) {
+    extra_ = std::move(fn);
+  }
+
+ private:
+  std::uint64_t received_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t highest_seq_ = 0;
+  std::unordered_set<std::uint64_t> seen_;
+  sim::SampleSet latencies_ms_;
+  std::function<void(const overlay::Message&, sim::Duration)> extra_;
+};
+
+}  // namespace son::client

@@ -1,0 +1,83 @@
+#include "client/tunnel.hpp"
+
+namespace son::client {
+
+TunnelGateway::TunnelGateway(net::Internet& internet, overlay::OverlayNode& node,
+                             overlay::VirtualPort tunnel_port)
+    : internet_{internet}, node_{node}, endpoint_{node.connect(tunnel_port)} {
+  endpoint_.set_handler(
+      [this](const overlay::Message& m, sim::Duration) { on_tunnel_message(m); });
+}
+
+void TunnelGateway::add_rule(const Rule& rule) {
+  rules_[rule.service_port] = rule;
+  internet_.bind(node_.host(), rule.service_port,
+                 [this](const net::Datagram& d) { on_app_datagram(d); });
+}
+
+void TunnelGateway::on_app_datagram(const net::Datagram& d) {
+  // The redirect delivered the app's datagram here with its service port in
+  // dst_port; the rule supplies the true destination and overlay services.
+  const auto it = rules_.find(d.dst_port);
+  if (it == rules_.end()) {
+    ++stats_.no_rule;
+    return;
+  }
+  const Rule& rule = it->second;
+  ++stats_.intercepted;
+
+  TunnelHeader h;
+  h.app_src = d.src;
+  h.app_src_port = d.src_port;
+  h.app_dst = rule.app_dst_host;
+  h.app_dst_port = rule.app_dst_port;
+
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kHeaderBytes + 64);
+  const auto put32 = [&bytes](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  const auto put16 = [&bytes](std::uint16_t v) {
+    for (int i = 0; i < 2; ++i) bytes.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  put32(h.app_src);
+  put16(h.app_src_port);
+  put32(h.app_dst);
+  put16(h.app_dst_port);
+  if (const auto* body = std::any_cast<std::vector<std::uint8_t>>(&d.payload)) {
+    bytes.insert(bytes.end(), body->begin(), body->end());
+  }
+  endpoint_.send(overlay::Destination::unicast(rule.egress_node, endpoint_.port()),
+                 overlay::make_payload(std::move(bytes)), rule.service);
+}
+
+void TunnelGateway::on_tunnel_message(const overlay::Message& m) {
+  if (!m.payload || m.payload->size() < kHeaderBytes) return;
+  ++stats_.tunneled_in;
+  const auto& b = *m.payload;
+  const auto get32 = [&b](std::size_t off) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{b[off + static_cast<std::size_t>(i)]} << (8 * i);
+    return v;
+  };
+  const auto get16 = [&b](std::size_t off) {
+    return static_cast<std::uint16_t>(b[off] | (std::uint16_t{b[off + 1]} << 8));
+  };
+  TunnelHeader h;
+  h.app_src = get32(0);
+  h.app_src_port = get16(4);
+  h.app_dst = get32(6);
+  h.app_dst_port = get16(10);
+
+  net::Datagram out;
+  out.src = node_.host();  // the egress gateway re-emits locally
+  out.dst = h.app_dst;
+  out.src_port = h.app_src_port;
+  out.dst_port = h.app_dst_port;
+  out.size_bytes = static_cast<std::uint32_t>(b.size());
+  out.payload = std::vector<std::uint8_t>(b.begin() + kHeaderBytes, b.end());
+  internet_.send(std::move(out));
+  ++stats_.reemitted;
+}
+
+}  // namespace son::client

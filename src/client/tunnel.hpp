@@ -1,0 +1,73 @@
+// Packet interception / tunneling gateway.
+//
+// §II-B: applications can "use seamless packet interception techniques that
+// allow unmodified applications to take advantage of overlay services", and
+// "a client may run on the same physical machine as the overlay node
+// software or on a remote machine."
+//
+// A TunnelGateway runs next to an overlay node. Unmodified applications on
+// remote hosts send plain underlay datagrams at the gateway (in a real
+// deployment a transparent redirect/divert rule delivers them there); the
+// gateway classifies each datagram into a configured intercept rule, wraps
+// the bytes into an overlay flow with the rule's services, and the egress
+// gateway re-emits a plain datagram to the real destination host. The
+// application never knows the overlay exists.
+#pragma once
+
+#include <map>
+
+#include "overlay/node.hpp"
+
+namespace son::client {
+
+class TunnelGateway {
+ public:
+  /// An intercept rule, keyed by the application's service port (the way a
+  /// transparent proxy port-map is provisioned): datagrams redirected to
+  /// this gateway with dst_port == service_port are carried over the overlay
+  /// to `egress_node`, whose gateway re-emits them at the true destination.
+  struct Rule {
+    std::uint16_t service_port = 0;
+    net::HostId app_dst_host = net::kInvalidHost;
+    std::uint16_t app_dst_port = 0;
+    overlay::NodeId egress_node = overlay::kInvalidNode;
+    overlay::ServiceSpec service;
+  };
+
+  /// The gateway uses overlay virtual port `tunnel_port` for gateway-to-
+  /// gateway flows (all gateways of one deployment share it). Each add_rule
+  /// provisions the intercept: the rule's service port is bound on this
+  /// node's host, so redirected app datagrams land in the gateway.
+  TunnelGateway(net::Internet& internet, overlay::OverlayNode& node,
+                overlay::VirtualPort tunnel_port = 9001);
+
+  void add_rule(const Rule& rule);
+
+  struct Stats {
+    std::uint64_t intercepted = 0;
+    std::uint64_t no_rule = 0;
+    std::uint64_t tunneled_in = 0;   // arrived over the overlay
+    std::uint64_t reemitted = 0;     // handed back to the underlay
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct TunnelHeader {
+    net::HostId app_src = net::kInvalidHost;
+    std::uint16_t app_src_port = 0;
+    net::HostId app_dst = net::kInvalidHost;
+    std::uint16_t app_dst_port = 0;
+  };
+  static constexpr std::size_t kHeaderBytes = 12;
+
+  void on_app_datagram(const net::Datagram& d);
+  void on_tunnel_message(const overlay::Message& m);
+
+  net::Internet& internet_;
+  overlay::OverlayNode& node_;
+  overlay::ClientEndpoint& endpoint_;
+  std::map<std::uint16_t, Rule> rules_;  // by service port
+  Stats stats_;
+};
+
+}  // namespace son::client

@@ -1,0 +1,48 @@
+#include "crypto/hmac.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace son::crypto {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+  std::array<std::uint8_t, 64> k_block{};
+  if (key.size() > 64) {
+    const Digest kd = Sha256::hash(key);
+    std::memcpy(k_block.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(k_block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> ipad{};
+  std::array<std::uint8_t, 64> opad{};
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(std::span<const std::uint8_t>{ipad});
+  inner.update(message);
+  const Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(std::span<const std::uint8_t>{opad});
+  outer.update(std::span<const std::uint8_t>{inner_digest});
+  return outer.finish();
+}
+
+Tag hmac_tag(std::span<const std::uint8_t> key, std::span<const std::uint8_t> message) {
+  const Digest d = hmac_sha256(key, message);
+  Tag t;
+  std::copy_n(d.begin(), t.size(), t.begin());
+  return t;
+}
+
+bool verify_tag(const Tag& expected, const Tag& actual) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < expected.size(); ++i) diff |= expected[i] ^ actual[i];
+  return diff == 0;
+}
+
+}  // namespace son::crypto

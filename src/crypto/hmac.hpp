@@ -1,0 +1,24 @@
+// HMAC-SHA256 (RFC 2104) with constant-time tag comparison.
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace son::crypto {
+
+/// 16-byte truncated HMAC tag — ample for per-link packet authentication.
+using Tag = std::array<std::uint8_t, 16>;
+
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> message);
+
+[[nodiscard]] Tag hmac_tag(std::span<const std::uint8_t> key,
+                           std::span<const std::uint8_t> message);
+
+/// Constant-time comparison (no early exit on mismatch).
+[[nodiscard]] bool verify_tag(const Tag& expected, const Tag& actual);
+
+}  // namespace son::crypto

@@ -1,0 +1,38 @@
+#include "crypto/keys.hpp"
+
+#include <algorithm>
+
+namespace son::crypto {
+
+Key derive_pair_key(const Key& master, std::uint32_t a, std::uint32_t b) {
+  if (a > b) std::swap(a, b);
+  std::array<std::uint8_t, 8> pair_bytes{};
+  for (int i = 0; i < 4; ++i) {
+    pair_bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(a >> (8 * i));
+    pair_bytes[static_cast<std::size_t>(4 + i)] = static_cast<std::uint8_t>(b >> (8 * i));
+  }
+  const Digest d = hmac_sha256(std::span<const std::uint8_t>{master},
+                               std::span<const std::uint8_t>{pair_bytes});
+  Key k;
+  std::copy_n(d.begin(), k.size(), k.begin());
+  return k;
+}
+
+KeyTable::KeyTable(const Key& master, std::uint32_t self, std::uint32_t num_nodes)
+    : self_{self} {
+  keys_.reserve(num_nodes);
+  for (std::uint32_t peer = 0; peer < num_nodes; ++peer) {
+    keys_.push_back(derive_pair_key(master, self, peer));
+  }
+}
+
+Tag KeyTable::sign(std::uint32_t peer, std::span<const std::uint8_t> message) const {
+  return hmac_tag(std::span<const std::uint8_t>{keys_.at(peer)}, message);
+}
+
+bool KeyTable::verify(std::uint32_t peer, std::span<const std::uint8_t> message,
+                      const Tag& tag) const {
+  return verify_tag(hmac_tag(std::span<const std::uint8_t>{keys_.at(peer)}, message), tag);
+}
+
+}  // namespace son::crypto

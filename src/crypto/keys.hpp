@@ -1,0 +1,43 @@
+// Node identities and the pairwise symmetric key table used by the
+// intrusion-tolerant overlay protocols (§IV-B): "Because the number of
+// overlay nodes is small, each overlay node can know the identities of all
+// valid overlay nodes in the system, and can use cryptography to
+// authenticate messages and ensure that they originate from authorized
+// overlay nodes."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/hmac.hpp"
+
+namespace son::crypto {
+
+using Key = std::array<std::uint8_t, 32>;
+
+/// Deterministically derives the shared key for the unordered node pair
+/// (a, b) from a deployment-wide master secret. In a real deployment keys
+/// come from provisioning; derivation keeps simulated deployments of any
+/// size self-consistent.
+[[nodiscard]] Key derive_pair_key(const Key& master, std::uint32_t a, std::uint32_t b);
+
+/// Per-node view of the full pairwise key table for n overlay nodes.
+class KeyTable {
+ public:
+  KeyTable(const Key& master, std::uint32_t self, std::uint32_t num_nodes);
+
+  [[nodiscard]] const Key& key_for(std::uint32_t peer) const { return keys_.at(peer); }
+  [[nodiscard]] std::uint32_t self() const { return self_; }
+  [[nodiscard]] std::uint32_t size() const { return static_cast<std::uint32_t>(keys_.size()); }
+
+  /// Tags `message` for the channel self<->peer.
+  [[nodiscard]] Tag sign(std::uint32_t peer, std::span<const std::uint8_t> message) const;
+  [[nodiscard]] bool verify(std::uint32_t peer, std::span<const std::uint8_t> message,
+                            const Tag& tag) const;
+
+ private:
+  std::uint32_t self_;
+  std::vector<Key> keys_;  // indexed by peer id
+};
+
+}  // namespace son::crypto

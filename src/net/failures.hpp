@@ -1,0 +1,33 @@
+// Scripted failure injection for experiments.
+//
+// Wraps an Internet with schedule-at-time failure/repair primitives so that
+// benchmarks read as scenario scripts ("cut the Chicago–Denver fiber at
+// t=10s, restore at t=70s").
+#pragma once
+
+#include "net/internet.hpp"
+#include "sim/simulator.hpp"
+
+namespace son::net {
+
+class FailureScript {
+ public:
+  FailureScript(sim::Simulator& sim, Internet& internet) : sim_{sim}, net_{internet} {}
+
+  /// Link goes down at `at`; comes back at `restore` if restore > at.
+  void cut_link(sim::TimePoint at, LinkId link,
+                sim::TimePoint restore = sim::TimePoint::zero());
+  void cut_router(sim::TimePoint at, RouterId router,
+                  sim::TimePoint restore = sim::TimePoint::zero());
+  void isp_outage(sim::TimePoint at, IspId isp,
+                  sim::TimePoint restore = sim::TimePoint::zero());
+
+  /// Forces `rate` loss on both directions of `link` during [from, until).
+  void loss_burst(sim::TimePoint from, sim::TimePoint until, LinkId link, double rate);
+
+ private:
+  sim::Simulator& sim_;
+  Internet& net_;
+};
+
+}  // namespace son::net

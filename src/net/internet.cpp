@@ -1,0 +1,372 @@
+#include "net/internet.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace son::net {
+
+Internet::Internet(sim::Simulator& sim, sim::Rng rng, Config cfg)
+    : sim_{sim}, rng_{rng}, cfg_{cfg} {}
+
+Internet::Internet(sim::Simulator& sim, sim::Rng rng) : Internet{sim, rng, Config{}} {}
+
+IspId Internet::add_isp(std::string name) {
+  isps_.push_back(std::move(name));
+  return static_cast<IspId>(isps_.size() - 1);
+}
+
+RouterId Internet::add_router(IspId isp, std::string name) {
+  assert(isp < isps_.size());
+  routers_.push_back(Router{isp, std::move(name), true, true, {}});
+  return static_cast<RouterId>(routers_.size() - 1);
+}
+
+LinkId Internet::add_link(RouterId a, RouterId b, const LinkConfig& cfg) {
+  assert(a < routers_.size() && b < routers_.size() && a != b);
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{a, b, true, true,
+                        LinkDirection{cfg, rng_.fork(0x11000 + id)},
+                        LinkDirection{cfg, rng_.fork(0x12000 + id)}});
+  routers_[a].adj.emplace_back(b, id);
+  routers_[b].adj.emplace_back(a, id);
+  route_cache_.clear();
+  return id;
+}
+
+HostId Internet::add_host(std::string name) {
+  hosts_.push_back(Host{std::move(name), {}, nullptr, {}});
+  return static_cast<HostId>(hosts_.size() - 1);
+}
+
+AttachIndex Internet::attach_host(HostId host, RouterId router, const LinkConfig& access) {
+  assert(host < hosts_.size() && router < routers_.size());
+  auto& h = hosts_[host];
+  const auto idx = static_cast<AttachIndex>(h.attaches.size());
+  h.attaches.push_back(
+      Attachment{router, LinkDirection{access, rng_.fork(0x21000 + host * 8u + idx)},
+                 LinkDirection{access, rng_.fork(0x22000 + host * 8u + idx)}});
+  return idx;
+}
+
+void Internet::bind(HostId host, Handler handler) {
+  assert(host < hosts_.size());
+  hosts_[host].handler = std::move(handler);
+}
+
+void Internet::bind(HostId host, std::uint16_t port, Handler handler) {
+  assert(host < hosts_.size());
+  hosts_[host].port_handlers[port] = std::move(handler);
+}
+
+std::size_t Internet::attachments(HostId host) const { return hosts_.at(host).attaches.size(); }
+IspId Internet::router_isp(RouterId r) const { return routers_.at(r).isp; }
+const std::string& Internet::router_name(RouterId r) const { return routers_.at(r).name; }
+
+// ---- Routing (believed topology) -----------------------------------------
+
+std::optional<std::vector<Internet::Step>> Internet::compute_route(RouterId from, RouterId to,
+                                                                   IspId isp) const {
+  if (from == to) return std::vector<Step>{};
+  if (!routers_[from].believed_up || !routers_[to].believed_up) return std::nullopt;
+
+  const auto n = routers_.size();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<Step> prev(n, Step{kInvalidLink, kInvalidRouter});
+  using QE = std::pair<double, RouterId>;
+  std::priority_queue<QE, std::vector<QE>, std::greater<>> pq;
+  dist[from] = 0.0;
+  pq.emplace(0.0, from);
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[u]) continue;
+    if (u == to) break;
+    for (const auto& [v, lid] : routers_[u].adj) {
+      const Link& l = links_[lid];
+      if (!l.believed_up || !routers_[v].believed_up) continue;
+      if (isp != kInvalidIsp && (routers_[u].isp != isp || routers_[v].isp != isp)) continue;
+      const double w = l.ab.config().prop_delay.to_seconds_f() +
+                       cfg_.router_latency.to_seconds_f();
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        prev[v] = Step{lid, u};  // `next` field reused to hold predecessor here
+        pq.emplace(dist[v], v);
+      }
+    }
+  }
+  if (dist[to] == kInf) return std::nullopt;
+
+  std::vector<Step> path;
+  for (RouterId v = to; v != from; v = prev[v].next) {
+    path.push_back(Step{prev[v].link, v});
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+const std::vector<Internet::Step>* Internet::route(RouterId from, RouterId to, IspId isp) {
+  const RouteKey key{from, to, isp};
+  auto it = route_cache_.find(key);
+  if (it == route_cache_.end()) {
+    it = route_cache_.emplace(key, compute_route(from, to, isp)).first;
+  }
+  return it->second ? &*it->second : nullptr;
+}
+
+std::optional<sim::Duration> Internet::route_latency(RouterId from, RouterId to,
+                                                     IspId isp) const {
+  const auto path = compute_route(from, to, isp);
+  if (!path) return std::nullopt;
+  sim::Duration total = sim::Duration::zero();
+  for (const auto& step : *path) {
+    total += links_[step.link].ab.config().prop_delay + cfg_.router_latency;
+  }
+  return total;
+}
+
+bool Internet::resolve_attachments(HostId src, HostId dst, const SendOptions& opts,
+                                   AttachIndex& si, AttachIndex& di, IspId& constraint) {
+  const auto& hs = hosts_[src];
+  const auto& hd = hosts_[dst];
+  double best = std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  const auto try_combo = [&](AttachIndex i, AttachIndex j) {
+    const RouterId ra = hs.attaches[i].router;
+    const RouterId rb = hd.attaches[j].router;
+    // Prefer staying on a single provider ("on-net") when both attachments
+    // share an ISP and an on-net route exists.
+    IspId mode = kInvalidIsp;
+    std::optional<sim::Duration> lat;
+    if (routers_[ra].isp == routers_[rb].isp) {
+      mode = routers_[ra].isp;
+      lat = route_latency(ra, rb, mode);
+    }
+    if (!lat) {
+      mode = kInvalidIsp;
+      lat = route_latency(ra, rb, kInvalidIsp);
+    }
+    if (!lat) return;
+    const double cost = lat->to_seconds_f() +
+                        hs.attaches[i].up_link.config().prop_delay.to_seconds_f() +
+                        hd.attaches[j].down_link.config().prop_delay.to_seconds_f();
+    if (cost < best) {
+      best = cost;
+      si = i;
+      di = j;
+      constraint = mode;
+      found = true;
+    }
+  };
+
+  const auto src_range = opts.src_attach == kAnyAttach
+                             ? std::pair<AttachIndex, AttachIndex>{0, static_cast<AttachIndex>(
+                                                                          hs.attaches.size())}
+                             : std::pair<AttachIndex, AttachIndex>{
+                                   opts.src_attach, static_cast<AttachIndex>(opts.src_attach + 1)};
+  const auto dst_range = opts.dst_attach == kAnyAttach
+                             ? std::pair<AttachIndex, AttachIndex>{0, static_cast<AttachIndex>(
+                                                                          hd.attaches.size())}
+                             : std::pair<AttachIndex, AttachIndex>{
+                                   opts.dst_attach, static_cast<AttachIndex>(opts.dst_attach + 1)};
+  for (AttachIndex i = src_range.first; i < src_range.second; ++i) {
+    for (AttachIndex j = dst_range.first; j < dst_range.second; ++j) {
+      try_combo(i, j);
+    }
+  }
+  return found;
+}
+
+// ---- Data plane ------------------------------------------------------------
+
+std::uint64_t Internet::send(Datagram d, const SendOptions& opts) {
+  assert(d.src < hosts_.size() && d.dst < hosts_.size());
+  d.id = next_packet_id_++;
+  ++counters_.sent;
+
+  AttachIndex si = 0, di = 0;
+  IspId constraint = kInvalidIsp;
+  if (!resolve_attachments(d.src, d.dst, opts, si, di, constraint)) {
+    drop(d, DropReason::kNoRoute);
+    return d.id;
+  }
+  auto& src_attach = hosts_[d.src].attaches[si];
+  const RouterId first_router = src_attach.router;
+  const RouterId last_router = hosts_[d.dst].attaches[di].router;
+
+  const auto* path = route(first_router, last_router, constraint);
+  if (path == nullptr) {
+    drop(d, DropReason::kNoRoute);
+    return d.id;
+  }
+
+  const auto out = src_attach.up_link.transmit(sim_.now(), d.size_bytes);
+  if (!out.delivered) {
+    drop(d, out.reason);
+    return d.id;
+  }
+  // Copy the path: in-flight packets keep their route even if caches clear.
+  sim_.schedule_at(out.arrival, [this, d, first_router, steps = *path, di,
+                                 ttl = cfg_.default_ttl]() mutable {
+    forward(std::move(d), first_router, std::move(steps), 0, di, ttl);
+  });
+  return d.id;
+}
+
+void Internet::forward(Datagram d, RouterId at, std::vector<Step> path, std::size_t idx,
+                       AttachIndex dst_attach, std::uint8_t ttl) {
+  if (!routers_[at].actually_up) {
+    drop(d, DropReason::kRouterDown);
+    return;
+  }
+  if (ttl == 0) {
+    drop(d, DropReason::kTtlExpired);
+    return;
+  }
+
+  if (idx == path.size()) {
+    // Final router: deliver over the destination's access link.
+    auto& attach = hosts_[d.dst].attaches[dst_attach];
+    const auto out = attach.down_link.transmit(sim_.now(), d.size_bytes);
+    if (!out.delivered) {
+      drop(d, out.reason);
+      return;
+    }
+    sim_.schedule_at(out.arrival, [this, d, dst_attach]() { deliver(d, dst_attach); });
+    return;
+  }
+
+  const Step step = path[idx];
+  Link& l = links_[step.link];
+  if (!l.actually_up) {
+    drop(d, l.believed_up ? DropReason::kStaleRoute : DropReason::kLinkDown);
+    return;
+  }
+  LinkDirection& dir = (l.a == at) ? l.ab : l.ba;
+  const auto out = dir.transmit(sim_.now(), d.size_bytes);
+  if (!out.delivered) {
+    drop(d, out.reason);
+    return;
+  }
+  sim_.schedule_at(out.arrival + cfg_.router_latency,
+                   [this, d = std::move(d), step, path = std::move(path), idx, dst_attach,
+                    ttl]() mutable {
+                     forward(std::move(d), step.next, std::move(path), idx + 1, dst_attach,
+                             static_cast<std::uint8_t>(ttl - 1));
+                   });
+}
+
+void Internet::deliver(const Datagram& d, AttachIndex) {
+  const auto& h = hosts_[d.dst];
+  const auto it = h.port_handlers.find(d.dst_port);
+  if (it != h.port_handlers.end()) {
+    ++counters_.delivered;
+    it->second(d);
+    return;
+  }
+  if (!h.handler) {
+    drop(d, DropReason::kNoHandler);
+    return;
+  }
+  ++counters_.delivered;
+  h.handler(d);
+}
+
+void Internet::drop(const Datagram& d, DropReason reason) {
+  ++counters_.dropped[static_cast<std::size_t>(reason)];
+  if (tracer_.enabled(sim::TraceLevel::kDebug)) {
+    trace(sim::TraceLevel::kDebug, "drop pkt " + std::to_string(d.id) + " " +
+                                       hosts_[d.src].name + "->" + hosts_[d.dst].name + ": " +
+                                       to_string(reason));
+  }
+}
+
+// ---- Failures / control ----------------------------------------------------
+
+void Internet::schedule_convergence(std::function<void()> apply_belief) {
+  sim_.schedule(cfg_.convergence_delay, [this, apply = std::move(apply_belief)]() {
+    apply();
+    route_cache_.clear();
+  });
+}
+
+void Internet::set_link_up(LinkId link, bool up) {
+  links_.at(link).actually_up = up;
+  schedule_convergence([this, link, up]() { links_[link].believed_up = up; });
+}
+
+void Internet::set_router_up(RouterId router, bool up) {
+  routers_.at(router).actually_up = up;
+  schedule_convergence([this, router, up]() { routers_[router].believed_up = up; });
+}
+
+void Internet::set_isp_up(IspId isp, bool up) {
+  for (RouterId r = 0; r < routers_.size(); ++r) {
+    if (routers_[r].isp == isp) set_router_up(r, up);
+  }
+}
+
+LinkDirection& Internet::link_dir(LinkId link, RouterId from) {
+  Link& l = links_.at(link);
+  assert(l.a == from || l.b == from);
+  return l.a == from ? l.ab : l.ba;
+}
+
+std::pair<RouterId, RouterId> Internet::link_endpoints(LinkId link) const {
+  const Link& l = links_.at(link);
+  return {l.a, l.b};
+}
+
+LinkId Internet::find_link(RouterId a, RouterId b) const {
+  for (const auto& [v, lid] : routers_.at(a).adj) {
+    if (v == b) return lid;
+  }
+  return kInvalidLink;
+}
+
+std::optional<sim::Duration> Internet::path_latency(HostId a, AttachIndex ai, HostId b,
+                                                    AttachIndex bi) const {
+  SendOptions opts{ai, bi};
+  AttachIndex si = 0, di = 0;
+  IspId constraint = kInvalidIsp;
+  // resolve_attachments is logically const (route computation only); cast to
+  // reuse the selection logic.
+  auto& self = const_cast<Internet&>(*this);
+  if (!self.resolve_attachments(a, b, opts, si, di, constraint)) return std::nullopt;
+  const RouterId ra = hosts_[a].attaches[si].router;
+  const RouterId rb = hosts_[b].attaches[di].router;
+  auto lat = route_latency(ra, rb, constraint);
+  if (!lat) return std::nullopt;
+  return *lat + hosts_[a].attaches[si].up_link.config().prop_delay +
+         hosts_[b].attaches[di].down_link.config().prop_delay;
+}
+
+std::optional<std::vector<RouterId>> Internet::path_routers(HostId a, AttachIndex ai, HostId b,
+                                                            AttachIndex bi) const {
+  SendOptions opts{ai, bi};
+  AttachIndex si = 0, di = 0;
+  IspId constraint = kInvalidIsp;
+  auto& self = const_cast<Internet&>(*this);
+  if (!self.resolve_attachments(a, b, opts, si, di, constraint)) return std::nullopt;
+  const RouterId ra = hosts_[a].attaches[si].router;
+  const RouterId rb = hosts_[b].attaches[di].router;
+  const auto path = compute_route(ra, rb, constraint);
+  if (!path) return std::nullopt;
+  std::vector<RouterId> out{ra};
+  for (const auto& s : *path) out.push_back(s.next);
+  return out;
+}
+
+std::uint64_t Internet::backbone_bytes_carried() const {
+  std::uint64_t total = 0;
+  for (const auto& l : links_) {
+    total += l.ab.counters().bytes_delivered + l.ba.counters().bytes_delivered;
+  }
+  return total;
+}
+
+}  // namespace son::net

@@ -1,0 +1,187 @@
+// The simulated Internet: multiple ISP backbones, peering, multihomed hosts.
+//
+// Substitution for the paper's real multi-ISP deployment (see DESIGN.md §2).
+// The model separates the *actual* topology state (data plane truth) from the
+// *believed* state (what routing has converged on). A failure takes effect in
+// the data plane immediately, but routes keep using the believed topology
+// until a BGP-style convergence delay elapses — packets forwarded into the
+// failure are dropped ("kStaleRoute"). This reproduces the paper's contrast
+// between sub-second overlay rerouting and "the 40 seconds to minutes that
+// BGP may take to converge".
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "net/types.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace son::net {
+
+class Internet {
+ public:
+  struct Config {
+    /// How long routing keeps using stale paths after a topology change.
+    sim::Duration convergence_delay = sim::Duration::seconds(40);
+    /// Per-router forwarding latency (hardware routers are fast).
+    sim::Duration router_latency = sim::Duration::microseconds(50);
+    std::uint8_t default_ttl = 64;
+  };
+
+  Internet(sim::Simulator& sim, sim::Rng rng, Config cfg);
+  Internet(sim::Simulator& sim, sim::Rng rng);
+
+  // ---- Topology construction ------------------------------------------
+  IspId add_isp(std::string name);
+  RouterId add_router(IspId isp, std::string name);
+  /// Adds a bidirectional link. Routers may be in different ISPs (peering).
+  LinkId add_link(RouterId a, RouterId b, const LinkConfig& cfg);
+  HostId add_host(std::string name);
+  /// Attaches a host to a router over an access link; hosts may attach to
+  /// several routers in different ISPs (multihoming). Returns the index of
+  /// this attachment in the host's attachment list.
+  AttachIndex attach_host(HostId host, RouterId router, const LinkConfig& access);
+
+  // ---- Data plane -------------------------------------------------------
+  using Handler = std::function<void(const Datagram&)>;
+  /// Binds the host's default handler (any destination port).
+  void bind(HostId host, Handler handler);
+  /// Binds a handler for one destination port — several daemons (e.g.
+  /// parallel overlays) can share a machine, each on its own port. Port
+  /// handlers take precedence over the default handler.
+  void bind(HostId host, std::uint16_t port, Handler handler);
+
+  struct SendOptions {
+    /// Which of the sender's / receiver's attachments to use; kAnyAttach
+    /// lets the internet pick the lowest-believed-latency combination.
+    AttachIndex src_attach = kAnyAttach;
+    AttachIndex dst_attach = kAnyAttach;
+  };
+  /// Injects a datagram; delivery (or silent loss) happens via events.
+  /// Returns the assigned packet id.
+  std::uint64_t send(Datagram d, const SendOptions& opts);
+  std::uint64_t send(Datagram d) { return send(std::move(d), SendOptions{}); }
+
+  // ---- Failure injection / control --------------------------------------
+  void set_link_up(LinkId link, bool up);
+  void set_router_up(RouterId router, bool up);
+  /// Takes every router and link of the ISP up or down.
+  void set_isp_up(IspId isp, bool up);
+
+  /// Direction accessor for loss injection: the direction from `from`.
+  LinkDirection& link_dir(LinkId link, RouterId from);
+  [[nodiscard]] LinkId find_link(RouterId a, RouterId b) const;
+  [[nodiscard]] std::pair<RouterId, RouterId> link_endpoints(LinkId link) const;
+
+  // ---- Introspection -----------------------------------------------------
+  /// Believed one-way latency (propagation + router hops) between two host
+  /// attachments, or nullopt if no believed route exists.
+  [[nodiscard]] std::optional<sim::Duration> path_latency(HostId a, AttachIndex ai,
+                                                          HostId b, AttachIndex bi) const;
+  /// Believed router path (for tests / topology design).
+  [[nodiscard]] std::optional<std::vector<RouterId>> path_routers(HostId a, AttachIndex ai,
+                                                                  HostId b,
+                                                                  AttachIndex bi) const;
+
+  [[nodiscard]] std::size_t num_hosts() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t num_routers() const { return routers_.size(); }
+  [[nodiscard]] std::size_t num_links() const { return links_.size(); }
+  [[nodiscard]] std::size_t attachments(HostId host) const;
+  [[nodiscard]] IspId router_isp(RouterId r) const;
+  [[nodiscard]] const std::string& router_name(RouterId r) const;
+
+  struct Counters {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped[16] = {};  // indexed by DropReason
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Sum of bytes carried over all backbone link directions (both ways),
+  /// excluding access links. Used by the multicast-efficiency benchmark.
+  [[nodiscard]] std::uint64_t backbone_bytes_carried() const;
+
+  void set_tracer(sim::Tracer tracer) { tracer_ = std::move(tracer); }
+
+  sim::Simulator& simulator() { return sim_; }
+
+ private:
+  struct Link {
+    RouterId a;
+    RouterId b;
+    bool actually_up = true;
+    bool believed_up = true;
+    LinkDirection ab;  // direction a -> b
+    LinkDirection ba;  // direction b -> a
+  };
+  struct Router {
+    IspId isp;
+    std::string name;
+    bool actually_up = true;
+    bool believed_up = true;
+    std::vector<std::pair<RouterId, LinkId>> adj;
+  };
+  struct Attachment {
+    RouterId router;
+    LinkDirection up_link;    // host -> router
+    LinkDirection down_link;  // router -> host
+  };
+  struct Host {
+    std::string name;
+    std::vector<Attachment> attaches;
+    Handler handler;  // default (any port)
+    std::map<std::uint16_t, Handler> port_handlers;
+  };
+
+  struct Step {
+    LinkId link;
+    RouterId next;
+  };
+  // Key: (src router, dst router, isp constraint or kInvalidIsp for global).
+  using RouteKey = std::tuple<RouterId, RouterId, IspId>;
+
+  /// Believed-topology Dijkstra. isp == kInvalidIsp allows all links.
+  [[nodiscard]] std::optional<std::vector<Step>> compute_route(RouterId from, RouterId to,
+                                                               IspId isp) const;
+  const std::vector<Step>* route(RouterId from, RouterId to, IspId isp);
+  [[nodiscard]] std::optional<sim::Duration> route_latency(RouterId from, RouterId to,
+                                                           IspId isp) const;
+
+  /// Chooses attachment indices per SendOptions; returns false if no route.
+  bool resolve_attachments(HostId src, HostId dst, const SendOptions& opts, AttachIndex& si,
+                           AttachIndex& di, IspId& constraint);
+
+  void forward(Datagram d, RouterId at, std::vector<Step> path, std::size_t idx,
+               AttachIndex dst_attach, std::uint8_t ttl);
+  void deliver(const Datagram& d, AttachIndex dst_attach);
+  void drop(const Datagram& d, DropReason reason);
+  /// Schedules control-plane convergence after a topology change.
+  void schedule_convergence(std::function<void()> apply_belief);
+
+  void trace(sim::TraceLevel lvl, const std::string& msg) const {
+    tracer_.emit(sim_.now(), lvl, "internet", msg);
+  }
+
+  sim::Simulator& sim_;
+  sim::Rng rng_;
+  Config cfg_;
+  sim::Tracer tracer_;
+
+  std::vector<std::string> isps_;
+  std::vector<Router> routers_;
+  std::vector<Link> links_;
+  std::vector<Host> hosts_;
+
+  std::map<RouteKey, std::optional<std::vector<Step>>> route_cache_;
+  std::uint64_t next_packet_id_ = 1;
+  Counters counters_;
+};
+
+}  // namespace son::net

@@ -1,0 +1,71 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+
+namespace son::net {
+
+const char* to_string(DropReason r) {
+  switch (r) {
+    case DropReason::kNone: return "none";
+    case DropReason::kRandomLoss: return "random-loss";
+    case DropReason::kLinkDown: return "link-down";
+    case DropReason::kRouterDown: return "router-down";
+    case DropReason::kQueueOverflow: return "queue-overflow";
+    case DropReason::kNoRoute: return "no-route";
+    case DropReason::kStaleRoute: return "stale-route";
+    case DropReason::kTtlExpired: return "ttl-expired";
+    case DropReason::kNoHandler: return "no-handler";
+  }
+  return "?";
+}
+
+LinkDirection::LinkDirection(LinkConfig cfg, sim::Rng rng)
+    : cfg_{cfg}, rng_{rng}, loss_{make_bernoulli(cfg.loss_rate)} {}
+
+void LinkDirection::set_loss_model(std::unique_ptr<LossModel> model) {
+  loss_ = std::move(model);
+}
+
+void LinkDirection::add_forced_loss_window(sim::TimePoint from, sim::TimePoint until,
+                                           double rate) {
+  forced_.push_back(ForcedWindow{from, until, rate});
+}
+
+bool LinkDirection::forced_loss(sim::TimePoint now) {
+  for (const auto& w : forced_) {
+    if (now >= w.from && now < w.until && rng_.bernoulli(w.rate)) return true;
+  }
+  return false;
+}
+
+sim::Duration LinkDirection::queue_delay(sim::TimePoint now) const {
+  return busy_until_ > now ? busy_until_ - now : sim::Duration::zero();
+}
+
+LinkDirection::Outcome LinkDirection::transmit(sim::TimePoint now, std::uint32_t size_bytes) {
+  ++counters_.offered;
+
+  if (loss_->lose(now, rng_) || forced_loss(now)) {
+    ++counters_.lost_random;
+    return Outcome{false, {}, DropReason::kRandomLoss};
+  }
+
+  sim::TimePoint start = now;
+  sim::Duration tx = sim::Duration::zero();
+  if (cfg_.bandwidth_bps > 0) {
+    tx = sim::Duration::from_seconds_f(static_cast<double>(size_bytes) * 8.0 /
+                                       cfg_.bandwidth_bps);
+    start = std::max(now, busy_until_);
+    if (start - now > cfg_.max_queue_delay) {
+      ++counters_.lost_queue;
+      return Outcome{false, {}, DropReason::kQueueOverflow};
+    }
+    busy_until_ = start + tx;
+  }
+
+  ++counters_.delivered;
+  counters_.bytes_delivered += size_bytes;
+  return Outcome{true, start + tx + cfg_.prop_delay, DropReason::kNone};
+}
+
+}  // namespace son::net

@@ -1,0 +1,80 @@
+// Directed transmission model for one direction of a fiber link.
+//
+// Combines propagation delay, serialization at a finite rate, a FIFO queue
+// bounded by maximum queueing delay (tail drop), a stochastic loss model,
+// and operator-scripted forced-loss windows for targeted experiments.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/loss_model.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace son::net {
+
+struct LinkConfig {
+  sim::Duration prop_delay = sim::Duration::milliseconds(5);
+  /// Bits per second; 0 means infinite (no serialization or queueing).
+  double bandwidth_bps = 10e9;
+  /// Tail-drop threshold: a packet whose queue wait would exceed this is lost.
+  sim::Duration max_queue_delay = sim::Duration::milliseconds(100);
+  /// Steady random loss (Bernoulli). For bursty loss, install a model with
+  /// set_loss_model() instead.
+  double loss_rate = 0.0;
+};
+
+class LinkDirection {
+ public:
+  LinkDirection(LinkConfig cfg, sim::Rng rng);
+
+  /// Replaces the stochastic loss model (e.g. with Gilbert–Elliott).
+  void set_loss_model(std::unique_ptr<LossModel> model);
+
+  /// Forces `rate` loss during [from, until) on top of the stochastic model.
+  void add_forced_loss_window(sim::TimePoint from, sim::TimePoint until, double rate);
+
+  struct Outcome {
+    bool delivered = false;
+    sim::TimePoint arrival;  // valid iff delivered
+    DropReason reason = DropReason::kNone;
+  };
+
+  /// Simulates handing `size_bytes` to this link direction at `now`.
+  Outcome transmit(sim::TimePoint now, std::uint32_t size_bytes);
+
+  [[nodiscard]] const LinkConfig& config() const { return cfg_; }
+  [[nodiscard]] double average_loss_rate() const { return loss_->average_loss_rate(); }
+
+  /// Queue backlog still draining at `now` (0 when idle).
+  [[nodiscard]] sim::Duration queue_delay(sim::TimePoint now) const;
+
+  struct Counters {
+    std::uint64_t offered = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t lost_random = 0;
+    std::uint64_t lost_queue = 0;
+    std::uint64_t bytes_delivered = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct ForcedWindow {
+    sim::TimePoint from;
+    sim::TimePoint until;
+    double rate;
+  };
+
+  bool forced_loss(sim::TimePoint now);
+
+  LinkConfig cfg_;
+  sim::Rng rng_;
+  std::unique_ptr<LossModel> loss_;
+  std::vector<ForcedWindow> forced_;
+  sim::TimePoint busy_until_;  // when the serializer frees up
+  Counters counters_;
+};
+
+}  // namespace son::net

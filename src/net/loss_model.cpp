@@ -1,0 +1,47 @@
+#include "net/loss_model.hpp"
+
+namespace son::net {
+
+GilbertElliottLoss::GilbertElliottLoss(Params params, sim::Rng rng)
+    : params_{params}, state_rng_{rng} {
+  state_until_ = sim::TimePoint::zero() +
+                 sim::Duration::from_seconds_f(
+                     state_rng_.exponential(params_.mean_good_time.to_seconds_f()));
+}
+
+void GilbertElliottLoss::advance_to(sim::TimePoint now) {
+  while (state_until_ <= now) {
+    bad_ = !bad_;
+    const double mean = bad_ ? params_.mean_bad_time.to_seconds_f()
+                             : params_.mean_good_time.to_seconds_f();
+    state_until_ += sim::Duration::from_seconds_f(state_rng_.exponential(mean));
+  }
+}
+
+bool GilbertElliottLoss::in_bad_state(sim::TimePoint now) {
+  advance_to(now);
+  return bad_;
+}
+
+bool GilbertElliottLoss::lose(sim::TimePoint now, sim::Rng& rng) {
+  advance_to(now);
+  return rng.bernoulli(bad_ ? params_.loss_bad : params_.loss_good);
+}
+
+double GilbertElliottLoss::average_loss_rate() const {
+  const double tg = params_.mean_good_time.to_seconds_f();
+  const double tb = params_.mean_bad_time.to_seconds_f();
+  return (tg * params_.loss_good + tb * params_.loss_bad) / (tg + tb);
+}
+
+std::unique_ptr<LossModel> make_no_loss() { return std::make_unique<NoLoss>(); }
+
+std::unique_ptr<LossModel> make_bernoulli(double p) {
+  return std::make_unique<BernoulliLoss>(p);
+}
+
+std::unique_ptr<LossModel> make_gilbert_elliott(GilbertElliottLoss::Params p, sim::Rng rng) {
+  return std::make_unique<GilbertElliottLoss>(p, rng);
+}
+
+}  // namespace son::net

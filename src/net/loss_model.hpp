@@ -1,0 +1,85 @@
+// Packet loss models for underlay links.
+//
+// The paper's recovery protocols (hop-by-hop ARQ, NM-Strikes) are motivated
+// by *bursty* Internet loss: "Because of the burstiness of loss on the
+// Internet, the challenge is to bypass the window of correlation for loss
+// within the allotted time" (§IV-A). The Gilbert–Elliott model here is
+// continuous-time, so whether two probe packets share a loss burst depends on
+// how far apart in *time* they are sent — exactly the property NM-Strikes'
+// spaced retransmission requests exploit.
+#pragma once
+
+#include <memory>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace son::net {
+
+/// Decides, per packet, whether the link drops it at time `now`.
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  virtual bool lose(sim::TimePoint now, sim::Rng& rng) = 0;
+  /// Long-run average loss fraction (for reporting / cost metrics).
+  [[nodiscard]] virtual double average_loss_rate() const = 0;
+};
+
+/// Independent per-packet loss with fixed probability.
+class BernoulliLoss final : public LossModel {
+ public:
+  explicit BernoulliLoss(double p) : p_{p} {}
+  bool lose(sim::TimePoint, sim::Rng& rng) override { return rng.bernoulli(p_); }
+  [[nodiscard]] double average_loss_rate() const override { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Continuous-time two-state Gilbert–Elliott model.
+///
+/// The chain alternates GOOD/BAD states with exponential sojourn times
+/// (mean_good_time / mean_bad_time); packets are dropped with loss_good in
+/// GOOD and loss_bad in BAD. The state is advanced lazily to the query time,
+/// so loss correlation is a function of real packet spacing.
+class GilbertElliottLoss final : public LossModel {
+ public:
+  struct Params {
+    sim::Duration mean_good_time = sim::Duration::seconds(10);
+    sim::Duration mean_bad_time = sim::Duration::milliseconds(80);
+    double loss_good = 0.0001;
+    double loss_bad = 0.5;
+  };
+
+  GilbertElliottLoss(Params params, sim::Rng rng);
+
+  bool lose(sim::TimePoint now, sim::Rng& rng) override;
+  [[nodiscard]] double average_loss_rate() const override;
+
+  /// True if the chain is in the BAD state at `now` (advances the chain).
+  bool in_bad_state(sim::TimePoint now);
+
+ private:
+  void advance_to(sim::TimePoint now);
+
+  Params params_;
+  sim::Rng state_rng_;  // dedicated stream so state evolution is independent
+                        // of how often the link is queried
+  bool bad_ = false;
+  sim::TimePoint state_until_;  // current sojourn ends here
+};
+
+/// No loss at all (ideal fiber).
+class NoLoss final : public LossModel {
+ public:
+  bool lose(sim::TimePoint, sim::Rng&) override { return false; }
+  [[nodiscard]] double average_loss_rate() const override { return 0.0; }
+};
+
+/// Convenience factories.
+[[nodiscard]] std::unique_ptr<LossModel> make_no_loss();
+[[nodiscard]] std::unique_ptr<LossModel> make_bernoulli(double p);
+[[nodiscard]] std::unique_ptr<LossModel> make_gilbert_elliott(GilbertElliottLoss::Params p,
+                                                              sim::Rng rng);
+
+}  // namespace son::net

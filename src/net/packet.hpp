@@ -1,0 +1,42 @@
+// The underlay datagram: what the simulated Internet carries between hosts.
+//
+// The payload is opaque to the underlay (std::any), exactly as the paper
+// requires: "to the underlying network, an overlay looks like a normal
+// user-level application". Overlay messages keep their bodies in shared
+// buffers, so copying a Datagram is cheap.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+#include "net/types.hpp"
+
+namespace son::net {
+
+struct Datagram {
+  HostId src = kInvalidHost;
+  HostId dst = kInvalidHost;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  /// Wire size used for serialization/queueing computations.
+  std::uint32_t size_bytes = 1200;
+  /// Unique per send() call; assigned by the Internet. For tracing.
+  std::uint64_t id = 0;
+  std::any payload;
+};
+
+enum class DropReason : std::uint8_t {
+  kNone = 0,
+  kRandomLoss,     // loss model fired
+  kLinkDown,       // traversed link was down
+  kRouterDown,     // next router was down
+  kQueueOverflow,  // link queue full
+  kNoRoute,        // no path existed at route-computation time
+  kStaleRoute,     // route pointed into a failure and routing hasn't converged
+  kTtlExpired,
+  kNoHandler,  // destination host has no receive handler bound
+};
+
+[[nodiscard]] const char* to_string(DropReason r);
+
+}  // namespace son::net

@@ -1,0 +1,27 @@
+// Identifier types for the underlay network model.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace son::net {
+
+/// Router (POP) in some ISP's backbone.
+using RouterId = std::uint32_t;
+/// Internet service provider (backbone network).
+using IspId = std::uint16_t;
+/// End host (an overlay node machine or a client machine).
+using HostId = std::uint32_t;
+/// Bidirectional fiber link between two routers, or a host access link.
+using LinkId = std::uint32_t;
+/// Index into a host's list of ISP attachments (multihoming).
+using AttachIndex = std::uint8_t;
+
+inline constexpr RouterId kInvalidRouter = std::numeric_limits<RouterId>::max();
+inline constexpr HostId kInvalidHost = std::numeric_limits<HostId>::max();
+inline constexpr LinkId kInvalidLink = std::numeric_limits<LinkId>::max();
+inline constexpr IspId kInvalidIsp = std::numeric_limits<IspId>::max();
+/// "Any attachment": let the internet pick the best ISP combination.
+inline constexpr AttachIndex kAnyAttach = std::numeric_limits<AttachIndex>::max();
+
+}  // namespace son::net

@@ -1,0 +1,47 @@
+// Byzantine behaviours for intrusion-tolerance experiments (§IV-B).
+//
+// A compromised overlay node holds valid credentials (the attacker owns the
+// machine), so authentication does not exclude it. The paper's data-plane
+// threat: "compromised overlay nodes cannot prevent messages sent by correct
+// overlay nodes from reaching their destination (provided that some correct
+// path through the overlay still exists)". The behaviours below disrupt the
+// data plane while participating correctly in the control plane (the
+// stealthiest variant: routing still trusts the node).
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace son::overlay {
+
+struct CompromiseBehavior {
+  bool active = false;
+  /// Silently drop every transit data message (blackhole).
+  bool blackhole_transit = false;
+  /// Drop transit data messages with this probability (gray hole).
+  double drop_probability = 0.0;
+  /// Delay forwarded data messages by this much (timeliness attack).
+  sim::Duration added_delay = sim::Duration::zero();
+  /// Only attack messages from this origin (kInvalidNode = attack all).
+  std::uint16_t target_origin = 0xFFFF;
+
+  [[nodiscard]] static CompromiseBehavior blackhole() {
+    CompromiseBehavior b;
+    b.active = true;
+    b.blackhole_transit = true;
+    return b;
+  }
+  [[nodiscard]] static CompromiseBehavior grayhole(double p) {
+    CompromiseBehavior b;
+    b.active = true;
+    b.drop_probability = p;
+    return b;
+  }
+  [[nodiscard]] static CompromiseBehavior delayer(sim::Duration d) {
+    CompromiseBehavior b;
+    b.active = true;
+    b.added_delay = d;
+    return b;
+  }
+};
+
+}  // namespace son::overlay

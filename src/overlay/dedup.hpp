@@ -1,0 +1,36 @@
+// Flow-based duplicate suppression for redundant dissemination (§II,
+// "redundant dissemination with corresponding de-duplication in the middle
+// of the network"). Bounded memory: oldest entries are evicted FIFO.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+namespace son::overlay {
+
+class DedupCache {
+ public:
+  explicit DedupCache(std::size_t capacity = 1 << 20) : capacity_{capacity} {}
+
+  /// Returns true if `id` was already seen; otherwise records it.
+  bool seen_or_insert(std::uint64_t id) {
+    if (seen_.contains(id)) return true;
+    seen_.insert(id);
+    order_.push_back(id);
+    if (order_.size() > capacity_) {
+      seen_.erase(order_.front());
+      order_.pop_front();
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return seen_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::deque<std::uint64_t> order_;
+};
+
+}  // namespace son::overlay

@@ -1,0 +1,35 @@
+#include "overlay/group_state.hpp"
+
+#include <algorithm>
+
+namespace son::overlay {
+
+bool GroupDb::apply(const GroupStateAd& ad) {
+  if (ad.origin >= by_origin_.size()) return false;
+  PerOrigin& po = by_origin_[ad.origin];
+  if (ad.seq <= po.seq) return false;
+  po.seq = ad.seq;
+  po.joined = ad.joined;
+  ++version_;
+  return true;
+}
+
+std::uint64_t GroupDb::stored_seq(NodeId origin) const {
+  return origin < by_origin_.size() ? by_origin_[origin].seq : 0;
+}
+
+std::vector<NodeId> GroupDb::members_of(GroupId g) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < by_origin_.size(); ++n) {
+    if (is_member(n, g)) out.push_back(n);
+  }
+  return out;
+}
+
+bool GroupDb::is_member(NodeId node, GroupId g) const {
+  if (node >= by_origin_.size()) return false;
+  const auto& joined = by_origin_[node].joined;
+  return std::find(joined.begin(), joined.end(), g) != joined.end();
+}
+
+}  // namespace son::overlay

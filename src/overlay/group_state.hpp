@@ -1,0 +1,49 @@
+// Group State (Fig. 2): shared multicast/anycast membership.
+//
+// "All of the overlay nodes share information about whether they have
+// clients interested in a particular multicast group... The two-level
+// hierarchy makes this state sharing practical by allowing each overlay node
+// to track only which of its own connected clients are members of a
+// particular group and which other overlay nodes are relevant to that group;
+// an overlay node does not need to maintain any information about clients
+// connected to the other overlay nodes."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/types.hpp"
+
+namespace son::overlay {
+
+/// One node's advertisement of the groups it has local clients in.
+struct GroupStateAd {
+  NodeId origin = kInvalidNode;
+  std::uint64_t seq = 0;
+  std::vector<GroupId> joined;
+};
+
+class GroupDb {
+ public:
+  explicit GroupDb(std::size_t num_nodes) : by_origin_(num_nodes) {}
+
+  /// Returns true if newer (flood onward exactly then).
+  bool apply(const GroupStateAd& ad);
+
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] std::uint64_t stored_seq(NodeId origin) const;
+
+  /// Overlay nodes with at least one local client joined to `g`, ascending.
+  [[nodiscard]] std::vector<NodeId> members_of(GroupId g) const;
+  [[nodiscard]] bool is_member(NodeId node, GroupId g) const;
+
+ private:
+  struct PerOrigin {
+    std::uint64_t seq = 0;
+    std::vector<GroupId> joined;
+  };
+  std::vector<PerOrigin> by_origin_;
+  std::uint64_t version_ = 1;
+};
+
+}  // namespace son::overlay

@@ -1,0 +1,72 @@
+#include "overlay/link_state.hpp"
+
+#include <limits>
+
+namespace son::overlay {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+TopologyDb::TopologyDb(topo::Graph base)
+    : base_{std::move(base)}, by_origin_(base_.num_nodes()), current_{base_} {}
+
+bool TopologyDb::apply(const LinkStateAd& ad) {
+  if (ad.origin >= by_origin_.size()) return false;
+  PerOrigin& po = by_origin_[ad.origin];
+  if (ad.seq <= po.seq) return false;
+  po.seq = ad.seq;
+  po.links = ad.links;
+  ++version_;
+  return true;
+}
+
+std::uint64_t TopologyDb::stored_seq(NodeId origin) const {
+  return origin < by_origin_.size() ? by_origin_[origin].seq : 0;
+}
+
+const LinkReport* TopologyDb::report_from(NodeId origin, LinkBit b) const {
+  if (origin >= by_origin_.size()) return nullptr;
+  for (const LinkReport& r : by_origin_[origin].links) {
+    if (r.link == b) return &r;
+  }
+  return nullptr;
+}
+
+bool TopologyDb::link_up(LinkBit b) const {
+  const auto& e = base_.edge(b);
+  const LinkReport* ru = report_from(static_cast<NodeId>(e.u), b);
+  const LinkReport* rv = report_from(static_cast<NodeId>(e.v), b);
+  if (ru != nullptr && !ru->up) return false;
+  if (rv != nullptr && !rv->up) return false;
+  return true;  // unreported links are assumed up (bootstrap)
+}
+
+double TopologyDb::link_cost(LinkBit b) const {
+  if (!link_up(b)) return kInf;
+  const auto& e = base_.edge(b);
+  const LinkReport* ru = report_from(static_cast<NodeId>(e.u), b);
+  const LinkReport* rv = report_from(static_cast<NodeId>(e.v), b);
+  double cost = 0.0;
+  bool reported = false;
+  for (const LinkReport* r : {ru, rv}) {
+    if (r == nullptr) continue;
+    reported = true;
+    const double p = loss_aware_ ? std::min(r->loss_rate, 0.99) : 0.0;
+    const double c = r->latency_ms + 2.0 * r->latency_ms * p / (1.0 - p);
+    cost = std::max(cost, c);
+  }
+  return reported ? cost : e.weight;  // fall back to designed latency
+}
+
+const topo::Graph& TopologyDb::current_graph() const {
+  if (current_version_ != version_) {
+    for (topo::EdgeIndex e = 0; e < base_.num_edges(); ++e) {
+      current_.set_weight(e, link_cost(static_cast<LinkBit>(e)));
+    }
+    current_version_ = version_;
+  }
+  return current_;
+}
+
+}  // namespace son::overlay

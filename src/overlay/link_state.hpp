@@ -1,0 +1,85 @@
+// Connectivity Graph Maintenance (Fig. 2): the shared global state about
+// overlay links that every node maintains.
+//
+// "The limited number of nodes allows each overlay node to maintain global
+// state concerning the condition of all other overlay nodes and the
+// connections between them, allowing fast reactions to changes in the
+// network, with the ability to route around problems at a sub-second scale."
+//
+// Each node periodically floods a sequence-numbered advertisement describing
+// its adjacent links (up/down, measured latency, measured loss). The
+// database combines both endpoints' reports into the current weighted
+// connectivity graph used by the routing level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/types.hpp"
+#include "topo/graph.hpp"
+
+namespace son::overlay {
+
+struct LinkReport {
+  LinkBit link = kInvalidLinkBit;
+  bool up = true;
+  double latency_ms = 0.0;  // measured one-way latency (RTT/2 from hellos)
+  double loss_rate = 0.0;   // measured hello loss
+};
+
+/// One node's view of its own adjacent links.
+struct LinkStateAd {
+  NodeId origin = kInvalidNode;
+  std::uint64_t seq = 0;
+  std::vector<LinkReport> links;
+};
+
+class TopologyDb {
+ public:
+  /// `base` is the designed overlay topology with propagation-latency
+  /// weights (milliseconds); link bit b == edge index b of `base`.
+  explicit TopologyDb(topo::Graph base);
+
+  /// Integrates an advertisement. Returns true if it was newer than the
+  /// stored one for that origin (callers flood it onward exactly then).
+  bool apply(const LinkStateAd& ad);
+
+  /// Ablation knob: when false, link_cost ignores measured loss and uses
+  /// latency alone (plain shortest-latency routing).
+  void set_loss_aware(bool aware) {
+    loss_aware_ = aware;
+    ++version_;
+  }
+
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] std::uint64_t stored_seq(NodeId origin) const;
+
+  /// A link is up iff neither endpoint has reported it down.
+  [[nodiscard]] bool link_up(LinkBit b) const;
+  /// Expected-latency routing cost of a link in ms: measured latency plus
+  /// the expected extra round trips ARQ spends on its loss rate,
+  /// lat + rtt * p/(1-p). Down links cost +infinity.
+  [[nodiscard]] double link_cost(LinkBit b) const;
+
+  /// The current connectivity graph: base topology with link_cost weights
+  /// (down links weighted +infinity, which every routing algorithm treats
+  /// as absent). Rebuilt lazily per version.
+  [[nodiscard]] const topo::Graph& current_graph() const;
+  [[nodiscard]] const topo::Graph& base_graph() const { return base_; }
+
+ private:
+  struct PerOrigin {
+    std::uint64_t seq = 0;
+    std::vector<LinkReport> links;
+  };
+  [[nodiscard]] const LinkReport* report_from(NodeId origin, LinkBit b) const;
+
+  topo::Graph base_;
+  std::vector<PerOrigin> by_origin_;
+  bool loss_aware_ = true;
+  std::uint64_t version_ = 1;
+  mutable topo::Graph current_;
+  mutable std::uint64_t current_version_ = 0;
+};
+
+}  // namespace son::overlay

@@ -1,0 +1,72 @@
+#include "overlay/message.hpp"
+
+namespace son::overlay {
+
+Payload make_payload(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+
+Payload make_payload(std::size_t size, std::uint8_t fill) {
+  return std::make_shared<const std::vector<std::uint8_t>>(size, fill);
+}
+
+namespace {
+template <typename T>
+void put(std::vector<std::uint8_t>& out, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::uint8_t>(static_cast<std::uint64_t>(v) >> (8 * i)));
+  }
+}
+}  // namespace
+
+std::vector<std::uint8_t> auth_bytes(const Message& m) {
+  std::vector<std::uint8_t> out;
+  out.reserve(64 + m.payload_size());
+  put(out, m.hdr.origin);
+  put(out, m.hdr.src_port);
+  put(out, static_cast<std::uint8_t>(m.hdr.dest.kind));
+  put(out, m.hdr.dest.node);
+  put(out, m.hdr.dest.port);
+  put(out, m.hdr.dest.group);
+  put(out, m.hdr.origin_id);
+  put(out, m.hdr.flow_seq);
+  put(out, m.hdr.flow_key);
+  put(out, static_cast<std::uint8_t>(m.hdr.scheme));
+  put(out, static_cast<std::uint8_t>(m.hdr.link_protocol));
+  put(out, m.hdr.mask);
+  put(out, m.hdr.origin_time.ns());
+  put(out, m.hdr.deadline.ns());
+  put(out, m.hdr.priority);
+  if (m.payload) out.insert(out.end(), m.payload->begin(), m.payload->end());
+  return out;
+}
+
+std::uint32_t wire_size(const Message& m, bool authenticated) {
+  return kMessageHeaderBytes + static_cast<std::uint32_t>(m.payload_size()) +
+         (authenticated ? kAuthTagBytes : 0);
+}
+
+const char* to_string(RouteScheme s) {
+  switch (s) {
+    case RouteScheme::kLinkState: return "link-state";
+    case RouteScheme::kDisjointPaths: return "disjoint-paths";
+    case RouteScheme::kDissemination: return "dissemination-graph";
+    case RouteScheme::kFlooding: return "constrained-flooding";
+  }
+  return "?";
+}
+
+const char* to_string(LinkProtocol p) {
+  switch (p) {
+    case LinkProtocol::kBestEffort: return "best-effort";
+    case LinkProtocol::kReliable: return "reliable";
+    case LinkProtocol::kRealtimeSimple: return "realtime-simple";
+    case LinkProtocol::kRealtimeNM: return "realtime-nm";
+    case LinkProtocol::kITPriority: return "it-priority";
+    case LinkProtocol::kITReliable: return "it-reliable";
+    case LinkProtocol::kFec: return "fec";
+  }
+  return "?";
+}
+
+}  // namespace son::overlay

@@ -1,0 +1,131 @@
+#include "overlay/network.hpp"
+
+#include <algorithm>
+
+namespace son::overlay {
+
+OverlayNetwork::OverlayNetwork(sim::Simulator& sim, net::Internet& internet,
+                               topo::Graph overlay_topology, std::vector<net::HostId> hosts,
+                               const NodeConfig& cfg, sim::Rng rng)
+    : sim_{sim}, graph_{std::move(overlay_topology)} {
+  const std::size_t n = graph_.num_nodes();
+  nodes_.reserve(n);
+  for (NodeId id = 0; id < n; ++id) {
+    std::vector<OverlayNode::NeighborSpec> neighbors;
+    for (const auto& [nbr, edge] : graph_.neighbors(id)) {
+      OverlayNode::NeighborSpec spec;
+      spec.link = static_cast<LinkBit>(edge);
+      spec.peer = static_cast<NodeId>(nbr);
+      spec.peer_host = hosts[nbr];
+      const std::size_t channels = std::max<std::size_t>(
+          1, std::min(internet.attachments(hosts[id]), internet.attachments(hosts[nbr])));
+      for (std::size_t c = 0; c < channels; ++c) {
+        spec.channels.push_back(OverlayNode::Channel{static_cast<net::AttachIndex>(c),
+                                                     static_cast<net::AttachIndex>(c)});
+      }
+      neighbors.push_back(std::move(spec));
+    }
+    nodes_.push_back(std::make_unique<OverlayNode>(sim, internet, hosts[id], id, graph_,
+                                                   std::move(neighbors), cfg,
+                                                   rng.fork(0x4000 + id)));
+  }
+}
+
+OverlayNetwork::OverlayNetwork(sim::Simulator& sim, net::Internet& internet,
+                               const topo::BackboneMap& map,
+                               const topo::BuiltUnderlay& underlay, const NodeConfig& cfg,
+                               sim::Rng rng)
+    : OverlayNetwork{sim, internet, topo::overlay_graph(map), underlay.hosts, cfg, rng} {}
+
+void OverlayNetwork::start() {
+  for (auto& n : nodes_) n->start();
+}
+
+void OverlayNetwork::settle(sim::Duration how_long) {
+  start();
+  sim_.run_for(how_long);
+}
+
+GraphFixture build_graph_fixture(sim::Simulator& sim, const topo::Graph& g,
+                                 const GraphOptions& opts, sim::Rng rng) {
+  GraphFixture fx;
+  fx.internet = std::make_unique<net::Internet>(sim, rng.fork(0x88));
+  auto& inet = *fx.internet;
+  const net::IspId isp = inet.add_isp("fixture");
+  std::vector<net::RouterId> routers;
+  for (std::size_t i = 0; i < g.num_nodes(); ++i) {
+    routers.push_back(inet.add_router(isp, "r" + std::to_string(i)));
+    fx.hosts.push_back(inet.add_host("h" + std::to_string(i)));
+    net::LinkConfig access;
+    access.prop_delay = sim::Duration::microseconds(50);
+    access.bandwidth_bps = opts.bandwidth_bps;
+    inet.attach_host(fx.hosts.back(), routers.back(), access);
+  }
+  for (topo::EdgeIndex e = 0; e < g.num_edges(); ++e) {
+    const auto& ed = g.edge(e);
+    net::LinkConfig cfg;
+    cfg.prop_delay = sim::Duration::from_millis_f(ed.weight);
+    cfg.bandwidth_bps = opts.bandwidth_bps;
+    fx.fiber.push_back(inet.add_link(routers[ed.u], routers[ed.v], cfg));
+  }
+  fx.overlay =
+      std::make_unique<OverlayNetwork>(sim, inet, g, fx.hosts, opts.node, rng.fork(0x89));
+  return fx;
+}
+
+topo::Graph circulant_topology(std::size_t n, double ring_latency_ms,
+                               double chord_latency_ms) {
+  topo::Graph g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(static_cast<topo::NodeIndex>(i), static_cast<topo::NodeIndex>((i + 1) % n),
+               ring_latency_ms);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_edge(static_cast<topo::NodeIndex>(i), static_cast<topo::NodeIndex>((i + 2) % n),
+               chord_latency_ms);
+  }
+  return g;
+}
+
+ChainFixture build_chain(sim::Simulator& sim, const ChainOptions& opts, sim::Rng rng) {
+  ChainFixture fx;
+  fx.internet = std::make_unique<net::Internet>(sim, rng.fork(0x77));
+  auto& inet = *fx.internet;
+
+  const std::size_t n = opts.n_nodes;
+  const net::IspId isp = inet.add_isp("chain");
+  std::vector<net::RouterId> routers;
+  std::vector<net::HostId> hosts;
+  for (std::size_t i = 0; i < n; ++i) {
+    routers.push_back(inet.add_router(isp, "r" + std::to_string(i)));
+    hosts.push_back(inet.add_host("h" + std::to_string(i)));
+    net::LinkConfig access;
+    access.prop_delay = sim::Duration::microseconds(10);
+    access.bandwidth_bps = opts.bandwidth_bps;
+    inet.attach_host(hosts[i], routers[i], access);
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    net::LinkConfig cfg;
+    cfg.prop_delay = opts.hop_latency;
+    cfg.bandwidth_bps = opts.bandwidth_bps;
+    fx.hop_links.push_back(inet.add_link(routers[i], routers[i + 1], cfg));
+  }
+
+  topo::Graph g(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    fx.hop_overlay_links.push_back(static_cast<LinkBit>(
+        g.add_edge(static_cast<topo::NodeIndex>(i), static_cast<topo::NodeIndex>(i + 1),
+                   opts.hop_latency.to_millis_f())));
+  }
+  if (n > 2) {
+    fx.direct_link = static_cast<LinkBit>(
+        g.add_edge(0, static_cast<topo::NodeIndex>(n - 1),
+                   opts.hop_latency.to_millis_f() * static_cast<double>(n - 1)));
+  }
+
+  fx.overlay = std::make_unique<OverlayNetwork>(sim, inet, std::move(g), hosts, opts.node,
+                                                rng.fork(0x78));
+  return fx;
+}
+
+}  // namespace son::overlay

@@ -1,0 +1,186 @@
+#include "overlay/reliable_link.hpp"
+
+#include <algorithm>
+
+namespace son::overlay {
+
+// ---- Best effort -----------------------------------------------------------
+
+bool BestEffortEndpoint::send(Message msg) {
+  LinkFrame f;
+  f.link = ctx_.link();
+  f.from = ctx_.self();
+  f.to = ctx_.peer();
+  f.proto = LinkProtocol::kBestEffort;
+  f.type = FrameType::kData;
+  f.msg = std::move(msg);
+  ctx_.send_frame(std::move(f));
+  return true;
+}
+
+void BestEffortEndpoint::on_frame(const LinkFrame& f) {
+  if (f.type == FrameType::kData && f.msg) {
+    ctx_.deliver_up(*f.msg, f.link);
+  }
+}
+
+// ---- Reliable data link ----------------------------------------------------
+
+ReliableLinkEndpoint::~ReliableLinkEndpoint() {
+  ctx_.simulator().cancel(retransmit_timer_);
+  ctx_.simulator().cancel(ack_timer_);
+}
+
+sim::Duration ReliableLinkEndpoint::rto() const {
+  return std::max(cfg_.min_rto, ctx_.rtt_estimate() * cfg_.rto_multiplier);
+}
+
+bool ReliableLinkEndpoint::send(Message msg) {
+  if (unacked_.size() >= cfg_.reliable_window) {
+    // Window exhausted: the link is badly backlogged. Shedding here (with
+    // accounting) keeps the simulation honest instead of growing unbounded.
+    ctx_.count_protocol_drop(LinkProtocol::kReliable);
+    return false;
+  }
+  const std::uint64_t seq = next_seq_++;
+  unacked_.emplace(seq, Unacked{msg, ctx_.simulator().now(), 1});
+  transmit_data(seq, msg, false);
+  arm_retransmit_timer();
+  return true;
+}
+
+void ReliableLinkEndpoint::transmit_data(std::uint64_t seq, const Message& msg, bool retrans) {
+  LinkFrame f;
+  f.link = ctx_.link();
+  f.from = ctx_.self();
+  f.to = ctx_.peer();
+  f.proto = LinkProtocol::kReliable;
+  f.type = retrans ? FrameType::kRetransmission : FrameType::kData;
+  f.seq = seq;
+  f.msg = msg;
+  ctx_.send_frame(std::move(f));
+  if (retrans) {
+    ++stats_.retransmissions;
+  } else {
+    ++stats_.data_sent;
+  }
+}
+
+void ReliableLinkEndpoint::arm_retransmit_timer() {
+  if (retransmit_timer_ != sim::kInvalidEventId || unacked_.empty()) return;
+  retransmit_timer_ = ctx_.simulator().schedule(rto(), [this]() {
+    retransmit_timer_ = sim::kInvalidEventId;
+    on_retransmit_timer();
+  });
+}
+
+void ReliableLinkEndpoint::on_retransmit_timer() {
+  const sim::TimePoint now = ctx_.simulator().now();
+  const sim::Duration timeout = rto();
+  for (auto& [seq, u] : unacked_) {
+    if (now - u.last_sent >= timeout) {
+      u.last_sent = now;
+      ++u.sends;
+      transmit_data(seq, u.msg, true);
+    }
+  }
+  arm_retransmit_timer();
+}
+
+void ReliableLinkEndpoint::handle_ack(const LinkFrame& f) {
+  // Cumulative ack.
+  unacked_.erase(unacked_.begin(), unacked_.upper_bound(f.cum_ack));
+  // Explicit nacks: retransmit immediately.
+  const sim::TimePoint now = ctx_.simulator().now();
+  for (const std::uint64_t seq : f.ids) {
+    const auto it = unacked_.find(seq);
+    if (it == unacked_.end()) continue;
+    // Avoid re-sending something sent a moment ago (the nack may have
+    // crossed our retransmission in flight).
+    if (now - it->second.last_sent < ctx_.rtt_estimate() / 2) continue;
+    it->second.last_sent = now;
+    ++it->second.sends;
+    transmit_data(seq, it->second.msg, true);
+  }
+  if (unacked_.empty() && retransmit_timer_ != sim::kInvalidEventId) {
+    ctx_.simulator().cancel(retransmit_timer_);
+    retransmit_timer_ = sim::kInvalidEventId;
+  }
+}
+
+void ReliableLinkEndpoint::handle_data(const LinkFrame& f) {
+  const std::uint64_t seq = f.seq;
+  const bool duplicate = seq <= recv_cum_ || recv_ooo_.contains(seq);
+  recv_max_ = std::max(recv_max_, seq);
+  if (duplicate) {
+    ++stats_.duplicates_received;
+  } else {
+    if (cfg_.reliable_ooo_forwarding) {
+      // Out-of-order forwarding: hand the message up immediately; only the
+      // final destination reorders (§III-A).
+      if (f.msg) {
+        ctx_.deliver_up(*f.msg, f.link);
+        ++stats_.delivered_up;
+      }
+    } else if (f.msg) {
+      // In-order ablation: hold gapped arrivals at this hop.
+      held_.emplace(seq, *f.msg);
+    }
+    if (seq == recv_cum_ + 1) {
+      ++recv_cum_;
+      while (!recv_ooo_.empty() && *recv_ooo_.begin() == recv_cum_ + 1) {
+        recv_ooo_.erase(recv_ooo_.begin());
+        ++recv_cum_;
+      }
+    } else {
+      recv_ooo_.insert(seq);
+    }
+    if (!cfg_.reliable_ooo_forwarding) {
+      while (!held_.empty() && held_.begin()->first <= recv_cum_) {
+        ctx_.deliver_up(held_.begin()->second, f.link);
+        ++stats_.delivered_up;
+        held_.erase(held_.begin());
+      }
+    }
+  }
+  schedule_ack();
+}
+
+void ReliableLinkEndpoint::schedule_ack() {
+  if (ack_timer_ != sim::kInvalidEventId) return;
+  ack_timer_ = ctx_.simulator().schedule(cfg_.ack_delay, [this]() {
+    ack_timer_ = sim::kInvalidEventId;
+    send_ack();
+  });
+}
+
+void ReliableLinkEndpoint::send_ack() {
+  LinkFrame f;
+  f.link = ctx_.link();
+  f.from = ctx_.self();
+  f.to = ctx_.peer();
+  f.proto = LinkProtocol::kReliable;
+  f.type = FrameType::kAck;
+  f.cum_ack = recv_cum_;
+  // Nack every hole between the cumulative point and the highest seen.
+  for (std::uint64_t s = recv_cum_ + 1; s <= recv_max_; ++s) {
+    if (!recv_ooo_.contains(s)) f.ids.push_back(s);
+  }
+  ctx_.send_frame(std::move(f));
+}
+
+void ReliableLinkEndpoint::on_frame(const LinkFrame& f) {
+  switch (f.type) {
+    case FrameType::kData:
+    case FrameType::kRetransmission:
+      handle_data(f);
+      break;
+    case FrameType::kAck:
+      handle_ack(f);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace son::overlay

@@ -1,0 +1,60 @@
+#include "overlay/reorder_buffer.hpp"
+
+namespace son::overlay {
+
+void ReorderBuffer::push(Message msg) {
+  const std::uint64_t seq = msg.hdr.flow_seq;
+  if (seq < next_seq_) {
+    ++stats_.late_discarded;
+    return;
+  }
+  if (held_.contains(seq)) {
+    ++stats_.duplicates;
+    return;
+  }
+  if (seq == next_seq_) {
+    deliver_(msg);
+    ++stats_.delivered;
+    ++next_seq_;
+    drain();
+    return;
+  }
+  held_.emplace(seq, Held{std::move(msg), sim_.now()});
+  arm_timer();
+}
+
+void ReorderBuffer::drain() {
+  while (!held_.empty() && held_.begin()->first == next_seq_) {
+    deliver_(held_.begin()->second.msg);
+    ++stats_.delivered;
+    ++next_seq_;
+    held_.erase(held_.begin());
+  }
+  if (held_.empty() && timer_ != sim::kInvalidEventId) {
+    sim_.cancel(timer_);
+    timer_ = sim::kInvalidEventId;
+  }
+}
+
+void ReorderBuffer::arm_timer() {
+  if (timer_ != sim::kInvalidEventId || held_.empty()) return;
+  const sim::TimePoint due = held_.begin()->second.arrived + max_hold_;
+  timer_ = sim_.schedule_at(due, [this]() {
+    timer_ = sim::kInvalidEventId;
+    on_timer();
+  });
+}
+
+void ReorderBuffer::on_timer() {
+  const sim::TimePoint now = sim_.now();
+  // Skip past any gap whose oldest held successor has waited out max_hold.
+  while (!held_.empty() && now - held_.begin()->second.arrived >= max_hold_) {
+    const std::uint64_t gap_end = held_.begin()->first;
+    stats_.skipped_missing += gap_end - next_seq_;
+    next_seq_ = gap_end;
+    drain();
+  }
+  arm_timer();
+}
+
+}  // namespace son::overlay

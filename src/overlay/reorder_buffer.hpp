@@ -1,0 +1,60 @@
+// Destination-side in-order delivery buffer.
+//
+// Intermediate overlay nodes forward out of order; "the final destination is
+// responsible for buffering received packets until they can be delivered in
+// order" (§III-A). For realtime flows, "if a recovered packet arrives after
+// later packets were already delivered, it is discarded" (§IV-A) — modeled
+// by the hold timeout: when a gap outlives `max_hold`, delivery skips past
+// it and stragglers are dropped as late.
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "overlay/message.hpp"
+#include "sim/simulator.hpp"
+
+namespace son::overlay {
+
+class ReorderBuffer {
+ public:
+  using DeliverFn = std::function<void(const Message&)>;
+
+  ReorderBuffer(sim::Simulator& sim, sim::Duration max_hold, DeliverFn deliver)
+      : sim_{sim}, max_hold_{max_hold}, deliver_{std::move(deliver)} {}
+  ~ReorderBuffer() { sim_.cancel(timer_); }
+  ReorderBuffer(const ReorderBuffer&) = delete;
+  ReorderBuffer& operator=(const ReorderBuffer&) = delete;
+
+  /// Offers a message with hdr.flow_seq; delivers everything that became
+  /// in-order, holds gapped messages up to max_hold.
+  void push(Message msg);
+
+  struct Stats {
+    std::uint64_t delivered = 0;
+    std::uint64_t late_discarded = 0;   // arrived after the gap was skipped
+    std::uint64_t skipped_missing = 0;  // gaps abandoned by the hold timeout
+    std::uint64_t duplicates = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t held() const { return held_.size(); }
+
+ private:
+  struct Held {
+    Message msg;
+    sim::TimePoint arrived;
+  };
+  void drain();
+  void arm_timer();
+  void on_timer();
+
+  sim::Simulator& sim_;
+  sim::Duration max_hold_;
+  DeliverFn deliver_;
+  std::uint64_t next_seq_ = 1;
+  std::map<std::uint64_t, Held> held_;
+  sim::EventId timer_ = sim::kInvalidEventId;
+  Stats stats_;
+};
+
+}  // namespace son::overlay

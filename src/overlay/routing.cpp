@@ -1,0 +1,139 @@
+#include "overlay/routing.hpp"
+
+#include <limits>
+
+namespace son::overlay {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Router::Router(NodeId self, const TopologyDb& topo_db, const GroupDb& group_db)
+    : self_{self}, topo_db_{topo_db}, group_db_{group_db} {}
+
+void Router::refresh_spt() {
+  if (spt_version_ == topo_db_.version()) return;
+  const topo::Graph& g = topo_db_.current_graph();
+  const auto sp = topo::dijkstra(g, self_);
+  next_hop_.assign(g.num_nodes(), kInvalidLinkBit);
+  dist_ = sp.dist;
+  for (topo::NodeIndex dst = 0; dst < g.num_nodes(); ++dst) {
+    if (dst == self_ || sp.dist[dst] == kInf) continue;
+    // Walk back from dst to the node whose parent is self; its parent_edge
+    // is the first hop.
+    topo::NodeIndex v = dst;
+    while (sp.parent[v] != self_) v = sp.parent[v];
+    next_hop_[dst] = static_cast<LinkBit>(sp.parent_edge[v]);
+  }
+  spt_version_ = topo_db_.version();
+}
+
+LinkBit Router::next_hop(NodeId dst) {
+  refresh_spt();
+  return dst < next_hop_.size() ? next_hop_[dst] : kInvalidLinkBit;
+}
+
+double Router::path_cost_to(NodeId dst) {
+  refresh_spt();
+  return dst < dist_.size() ? dist_[dst] : kInf;
+}
+
+std::vector<LinkBit> Router::multicast_links(NodeId tree_src, GroupId group,
+                                             LinkBit arrived_on) {
+  const auto key = std::make_pair(tree_src, group);
+  auto it = tree_cache_.find(key);
+  if (it == tree_cache_.end() || it->second.topo_version != topo_db_.version() ||
+      it->second.group_version != group_db_.version()) {
+    const auto members = group_db_.members_of(group);
+    std::vector<topo::NodeIndex> terminals(members.begin(), members.end());
+    TreeEntry entry{topo_db_.version(), group_db_.version(),
+                    topo::multicast_tree(topo_db_.current_graph(), tree_src, terminals)};
+    it = tree_cache_.insert_or_assign(key, std::move(entry)).first;
+  }
+
+  std::vector<LinkBit> out;
+  const topo::Graph& g = topo_db_.current_graph();
+  for (const topo::EdgeIndex e : it->second.edges) {
+    const auto& ed = g.edge(e);
+    if (ed.u != self_ && ed.v != self_) continue;
+    const auto b = static_cast<LinkBit>(e);
+    if (b == arrived_on) continue;
+    out.push_back(b);
+  }
+  return out;
+}
+
+NodeId Router::anycast_target(GroupId group) {
+  refresh_spt();
+  NodeId best = kInvalidNode;
+  double best_dist = kInf;
+  for (const NodeId m : group_db_.members_of(group)) {
+    const double d = (m == self_) ? 0.0 : (m < dist_.size() ? dist_[m] : kInf);
+    if (d < best_dist) {
+      best_dist = d;
+      best = m;
+    }
+  }
+  return best;
+}
+
+LinkMask Router::source_mask(const ServiceSpec& spec, NodeId dst) {
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+  switch (spec.scheme) {
+    case RouteScheme::kDisjointPaths:
+      a = spec.num_paths;
+      break;
+    case RouteScheme::kDissemination:
+      a = spec.dissem_dst_fanin;
+      b = spec.dissem_src_fanout;
+      break;
+    default:
+      break;
+  }
+  const MaskKey key{spec.scheme, a, b, dst};
+  auto it = mask_cache_.find(key);
+  if (it != mask_cache_.end() && it->second.topo_version == topo_db_.version()) {
+    return it->second.mask;
+  }
+
+  const topo::Graph& g = topo_db_.current_graph();
+  topo::EdgeSet edges;
+  switch (spec.scheme) {
+    case RouteScheme::kDisjointPaths:
+      edges = topo::k_disjoint_edges(g, self_, dst, spec.num_paths);
+      break;
+    case RouteScheme::kDissemination: {
+      topo::DissemOptions opts;
+      opts.dst_fanin = spec.dissem_dst_fanin;
+      opts.src_fanout = spec.dissem_src_fanout;
+      edges = topo::dissemination_graph(g, self_, dst, opts);
+      break;
+    }
+    case RouteScheme::kFlooding:
+      // Constrained flooding uses the full designed topology, including
+      // links currently believed down (beliefs can be wrong or stale; the
+      // whole point is maximal redundancy).
+      edges = topo::all_edges(topo_db_.base_graph());
+      break;
+    case RouteScheme::kLinkState:
+      break;  // no mask
+  }
+
+  LinkMask mask = 0;
+  for (const topo::EdgeIndex e : edges) mask |= bit_of(static_cast<LinkBit>(e));
+  mask_cache_.insert_or_assign(key, MaskEntry{topo_db_.version(), mask});
+  return mask;
+}
+
+std::vector<LinkBit> Router::adjacent_mask_links(LinkMask mask, LinkBit arrived_on) const {
+  std::vector<LinkBit> out;
+  const topo::Graph& g = topo_db_.base_graph();
+  for (const auto& [nbr, e] : g.neighbors(self_)) {
+    const auto b = static_cast<LinkBit>(e);
+    if (b != arrived_on && has_bit(mask, b)) out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace son::overlay

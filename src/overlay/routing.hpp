@@ -1,0 +1,82 @@
+// The routing level (Fig. 2): Link-State and Source-Based routing over the
+// shared connectivity graph, plus multicast trees and anycast selection.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "overlay/group_state.hpp"
+#include "overlay/link_state.hpp"
+#include "overlay/types.hpp"
+#include "topo/dissemination.hpp"
+#include "topo/graph.hpp"
+
+namespace son::overlay {
+
+class Router {
+ public:
+  Router(NodeId self, const TopologyDb& topo_db, const GroupDb& group_db);
+
+  // ---- Link-State routing ----------------------------------------------
+  /// First overlay link on the min-cost path self -> dst; kInvalidLinkBit if
+  /// dst is unreachable (or is self).
+  [[nodiscard]] LinkBit next_hop(NodeId dst);
+
+  /// Links (adjacent to self) to forward a multicast message on, given the
+  /// tree rooted at `tree_src` spanning the current members of `group`.
+  /// `arrived_on` is excluded (kInvalidLinkBit when self originated it).
+  [[nodiscard]] std::vector<LinkBit> multicast_links(NodeId tree_src, GroupId group,
+                                                     LinkBit arrived_on);
+
+  /// Anycast target: the nearest current member of `group` by routing cost
+  /// (lowest id on ties); kInvalidNode if the group is empty/unreachable.
+  [[nodiscard]] NodeId anycast_target(GroupId group);
+
+  // ---- Source-Based routing ---------------------------------------------
+  /// Computes the link bitmask the origin stamps on a message.
+  [[nodiscard]] LinkMask source_mask(const ServiceSpec& spec, NodeId dst);
+
+  /// Links adjacent to `self` that are in `mask`, excluding `arrived_on`.
+  [[nodiscard]] std::vector<LinkBit> adjacent_mask_links(LinkMask mask,
+                                                         LinkBit arrived_on) const;
+
+  /// The min-cost path cost to dst (ms), for diagnostics; infinity if
+  /// unreachable.
+  [[nodiscard]] double path_cost_to(NodeId dst);
+
+ private:
+  void refresh_spt();
+
+  NodeId self_;
+  const TopologyDb& topo_db_;
+  const GroupDb& group_db_;
+
+  // Shortest-path-tree cache from self (link-state next hops).
+  std::uint64_t spt_version_ = 0;
+  std::vector<LinkBit> next_hop_;  // per destination node
+  std::vector<double> dist_;
+
+  // Multicast tree cache: (src, group) -> edges, stamped with both versions.
+  struct TreeEntry {
+    std::uint64_t topo_version;
+    std::uint64_t group_version;
+    topo::EdgeSet edges;
+  };
+  std::map<std::pair<NodeId, GroupId>, TreeEntry> tree_cache_;
+
+  // Source-mask cache: keyed by (scheme, k/fanin/fanout, dst).
+  struct MaskKey {
+    RouteScheme scheme;
+    std::uint8_t a;
+    std::uint8_t b;
+    NodeId dst;
+    auto operator<=>(const MaskKey&) const = default;
+  };
+  struct MaskEntry {
+    std::uint64_t topo_version;
+    LinkMask mask;
+  };
+  std::map<MaskKey, MaskEntry> mask_cache_;
+};
+
+}  // namespace son::overlay

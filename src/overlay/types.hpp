@@ -1,0 +1,105 @@
+// Core identifier and service-selection types for the structured overlay.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace son::overlay {
+
+/// Overlay node index. The paper: "a few tens of well situated overlay
+/// nodes" — ids are small and dense.
+using NodeId = std::uint16_t;
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Virtual port, "mimicking the IP address plus port addressing scheme".
+using VirtualPort = std::uint16_t;
+
+/// Multicast/anycast group. "Anycast and multicast are implemented similarly
+/// as part of the IP space, just like in IP."
+using GroupId = std::uint32_t;
+
+/// Bitmask over overlay links for unified source-based routing: "each packet
+/// is stamped with a bitmask indicating exactly the set of overlay links it
+/// should traverse (where each bit in the bitmask represents an overlay
+/// link)" (§II-B). 64 bits caps the overlay at 64 links.
+using LinkMask = std::uint64_t;
+/// Bit index of an overlay link == topo::EdgeIndex of the overlay graph.
+using LinkBit = std::uint8_t;
+inline constexpr LinkBit kInvalidLinkBit = 255;
+inline constexpr std::size_t kMaxOverlayLinks = 64;
+
+[[nodiscard]] constexpr LinkMask bit_of(LinkBit b) { return LinkMask{1} << b; }
+[[nodiscard]] constexpr bool has_bit(LinkMask m, LinkBit b) { return (m & bit_of(b)) != 0; }
+
+/// Routing level service (Fig. 2): link-state destination-based forwarding,
+/// or source-based subgraph forwarding.
+enum class RouteScheme : std::uint8_t {
+  kLinkState = 0,    // Dijkstra next-hop on the shared connectivity graph
+  kDisjointPaths,    // source-based: k node-disjoint paths
+  kDissemination,    // source-based: targeted dissemination graph
+  kFlooding,         // source-based: constrained flooding on all links
+};
+
+/// Link level protocol (Fig. 2 boxes).
+enum class LinkProtocol : std::uint8_t {
+  kBestEffort = 0,
+  kReliable,        // hop-by-hop ARQ, out-of-order forwarding (§III-A, [4])
+  kRealtimeSimple,  // one request / one retransmission ([6], [7])
+  kRealtimeNM,      // NM-Strikes (§IV-A, Fig. 4, [5])
+  kITPriority,      // intrusion-tolerant priority messaging (§IV-B)
+  kITReliable,      // intrusion-tolerant reliable messaging (§IV-B)
+  kFec,             // proactive XOR-parity FEC (extension; cf. OverQoS [10])
+};
+
+[[nodiscard]] const char* to_string(RouteScheme s);
+[[nodiscard]] const char* to_string(LinkProtocol p);
+
+/// Per-flow service selection: "Each client specifies the particular overlay
+/// services that should be used for its flow."
+struct ServiceSpec {
+  RouteScheme scheme = RouteScheme::kLinkState;
+  LinkProtocol link_protocol = LinkProtocol::kBestEffort;
+  /// k for kDisjointPaths.
+  std::uint8_t num_paths = 2;
+  /// Extra fan-in/out for kDissemination (see topo::DissemOptions).
+  std::uint8_t dissem_dst_fanin = 2;
+  std::uint8_t dissem_src_fanout = 0;
+  /// End-to-end one-way deadline for the realtime protocols; zero = none
+  /// (they then use a default recovery budget).
+  sim::Duration deadline = sim::Duration::zero();
+  /// NM-Strikes parameters: N requests, M retransmissions per request burst.
+  std::uint8_t nm_requests = 3;
+  std::uint8_t nm_retransmissions = 3;
+  /// Priority for kITPriority (higher = kept longer under pressure).
+  std::uint8_t priority = 5;
+  /// Deliver to the client in sender order (destination reorder buffer).
+  bool ordered = false;
+  /// Explicit source-routing mask ("arbitrary subgraphs of the overlay
+  /// topology", §II-B). When nonzero and the scheme is source-based, the
+  /// message is stamped with exactly this link set instead of a computed one.
+  LinkMask custom_mask = 0;
+};
+
+/// Destination of a flow: unicast (node, port), or a multicast/anycast group.
+struct Destination {
+  enum class Kind : std::uint8_t { kUnicast = 0, kMulticast, kAnycast };
+  Kind kind = Kind::kUnicast;
+  NodeId node = kInvalidNode;  // unicast only
+  VirtualPort port = 0;        // unicast only
+  GroupId group = 0;           // multicast/anycast only
+
+  [[nodiscard]] static Destination unicast(NodeId n, VirtualPort p) {
+    return Destination{Kind::kUnicast, n, p, 0};
+  }
+  [[nodiscard]] static Destination multicast(GroupId g) {
+    return Destination{Kind::kMulticast, kInvalidNode, 0, g};
+  }
+  [[nodiscard]] static Destination anycast(GroupId g) {
+    return Destination{Kind::kAnycast, kInvalidNode, 0, g};
+  }
+};
+
+}  // namespace son::overlay

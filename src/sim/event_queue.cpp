@@ -1,0 +1,53 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace son::sim {
+
+EventId EventQueue::schedule(TimePoint when, Callback cb) {
+  assert(cb && "scheduling a null callback");
+  const EventId id = next_id_++;
+  heap_.push_back(Entry{when, next_seq_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
+    cancelled_.erase(heap_.front().id);
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  skip_cancelled();
+  assert(!heap_.empty() && "next_time() on empty queue");
+  return heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty() && "pop() on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  return Fired{e.time, std::move(e.cb)};
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  cancelled_.clear();
+  pending_.clear();
+}
+
+}  // namespace son::sim

@@ -1,0 +1,73 @@
+// Priority event queue for the discrete-event simulator.
+//
+// Events are (time, sequence) ordered: ties in time fire in schedule order,
+// which keeps runs fully deterministic. Cancellation is lazy: cancelled
+// events stay in the heap and are skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace son::sim {
+
+/// Identifies a scheduled event; usable to cancel it. 0 is never a valid id.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to fire at `when`. Returns an id usable with cancel().
+  EventId schedule(TimePoint when, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op. Returns true if it was pending.
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Removes and returns the earliest pending event's callback and time.
+  /// Precondition: !empty().
+  struct Fired {
+    TimePoint time;
+    Callback cb;
+  };
+  Fired pop();
+
+  /// Drops all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  // Heap is mutable so next_time() can discard cancelled heads lazily.
+  mutable std::vector<Entry> heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> pending_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+};
+
+}  // namespace son::sim

@@ -1,0 +1,103 @@
+// Deterministic random number generation for simulations.
+//
+// PCG32 (O'Neill, pcg-random.org; permuted congruential generator) — small,
+// fast, statistically strong, and trivially seedable per component so that
+// adding a component never perturbs another component's stream.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace son::sim {
+
+class Rng {
+ public:
+  /// Seeds the generator. `stream` selects one of 2^63 independent sequences.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL, std::uint64_t stream = 1)
+      : state_{0}, inc_{(stream << 1u) | 1u} {
+    next_u32();
+    state_ += seed;
+    next_u32();
+  }
+
+  /// Derives an independent generator for a sub-component. Deterministic in
+  /// (parent seed, label): the same label always yields the same stream.
+  [[nodiscard]] Rng fork(std::uint64_t label) const {
+    return Rng{RawTag{}, splitmix(state_ ^ splitmix(label)), splitmix(inc_ + label)};
+  }
+
+  std::uint32_t next_u32() {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    const auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+  }
+
+  /// Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next_u32()) * 0x1p-32; }
+
+  /// Uniform in [lo, hi]; requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<std::int64_t>(next_u64());  // full 64-bit range
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+    std::uint64_t v;
+    do { v = next_u64(); } while (v >= limit);
+    return lo + static_cast<std::int64_t>(v % range);
+  }
+
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    double u;
+    do { u = uniform(); } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple and adequate).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1;
+    do { u1 = uniform(); } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+    return mean + stddev * z;
+  }
+
+  /// Fisher–Yates shuffle of an indexable container.
+  template <typename C>
+  void shuffle(C& c) {
+    for (std::size_t i = c.size(); i > 1; --i) {
+      const std::size_t j = index(i);
+      using std::swap;
+      swap(c[i - 1], c[j]);
+    }
+  }
+
+ private:
+  struct RawTag {};
+  Rng(RawTag, std::uint64_t raw_state, std::uint64_t raw_inc)
+      : state_{raw_state}, inc_{raw_inc | 1u} {}
+
+  static constexpr std::uint64_t splitmix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace son::sim

@@ -1,0 +1,30 @@
+#include "sim/simulator.hpp"
+
+namespace son::sim {
+
+std::uint64_t Simulator::run() {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    auto [time, cb] = queue_.pop();
+    now_ = time;
+    cb();
+    ++n;
+  }
+  fired_ += n;
+  return n;
+}
+
+std::uint64_t Simulator::run_until(TimePoint deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto [time, cb] = queue_.pop();
+    now_ = time;
+    cb();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  fired_ += n;
+  return n;
+}
+
+}  // namespace son::sim

@@ -1,0 +1,110 @@
+#include "sim/stats.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace son::sim {
+
+void OnlineStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::sort() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto i = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(i);
+  if (i + 1 >= samples_.size()) return samples_.back();
+  return samples_[i] * (1.0 - frac) + samples_[i + 1] * frac;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  return samples_.back();
+}
+
+double SampleSet::fraction_at_most(double threshold) const {
+  if (samples_.empty()) return 0.0;
+  sort();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), threshold);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+const std::vector<double>& SampleSet::sorted_values() const {
+  sort();
+  return samples_;
+}
+
+std::string SampleSet::summary(const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "n=%zu mean=%.3f%s p50=%.3f%s p90=%.3f%s p99=%.3f%s max=%.3f%s",
+                size(), mean(), unit.c_str(), quantile(0.5), unit.c_str(),
+                quantile(0.9), unit.c_str(), quantile(0.99), unit.c_str(), max(),
+                unit.c_str());
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, width_{(hi - lo) / static_cast<double>(bins)}, counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar_len =
+        static_cast<std::size_t>(static_cast<double>(counts_[i]) /
+                                 static_cast<double>(peak) * static_cast<double>(max_width));
+    std::snprintf(line, sizeof line, "%10.3f..%-10.3f %8llu |", bin_lo(i),
+                  bin_lo(i + 1), static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar_len, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace son::sim

@@ -1,0 +1,28 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace son::sim {
+
+std::string Duration::to_string() const {
+  char buf[48];
+  const std::int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
+  if (abs_ns >= 1'000'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", static_cast<double>(ns_) * 1e-9);
+  } else if (abs_ns >= 1'000'000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", static_cast<double>(ns_) * 1e-6);
+  } else if (abs_ns >= 1'000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(ns_) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+std::string TimePoint::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "t=%.6fs", static_cast<double>(ns_) * 1e-9);
+  return buf;
+}
+
+}  // namespace son::sim

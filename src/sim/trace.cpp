@@ -1,0 +1,26 @@
+#include "sim/trace.hpp"
+
+#include <cstdio>
+
+namespace son::sim {
+
+std::string_view to_string(TraceLevel lvl) {
+  switch (lvl) {
+    case TraceLevel::kDebug: return "DEBUG";
+    case TraceLevel::kInfo: return "INFO";
+    case TraceLevel::kWarn: return "WARN";
+    case TraceLevel::kError: return "ERROR";
+    case TraceLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Tracer::Sink Tracer::stderr_sink() {
+  return [](const Record& r) {
+    std::fprintf(stderr, "[%12.6f] %-5s %-20s %s\n", r.time.to_seconds_f(),
+                 std::string{to_string(r.level)}.c_str(), r.component.c_str(),
+                 r.message.c_str());
+  };
+}
+
+}  // namespace son::sim

@@ -1,0 +1,51 @@
+// Structured event tracing.
+//
+// Components format messages only when the level is enabled; the sink decides
+// where records go (stderr by default, capture buffer in tests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace son::sim {
+
+enum class TraceLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError, kOff };
+
+[[nodiscard]] std::string_view to_string(TraceLevel lvl);
+
+class Tracer {
+ public:
+  struct Record {
+    TimePoint time;
+    TraceLevel level;
+    std::string component;
+    std::string message;
+  };
+  using Sink = std::function<void(const Record&)>;
+
+  /// Default tracer is off (benchmarks run silent by default).
+  Tracer() = default;
+  explicit Tracer(TraceLevel level, Sink sink = stderr_sink())
+      : level_{level}, sink_{std::move(sink)} {}
+
+  [[nodiscard]] bool enabled(TraceLevel lvl) const { return lvl >= level_ && sink_; }
+  void set_level(TraceLevel lvl) { level_ = lvl; }
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void emit(TimePoint now, TraceLevel lvl, std::string_view component, std::string message) const {
+    if (!enabled(lvl)) return;
+    sink_(Record{now, lvl, std::string{component}, std::move(message)});
+  }
+
+  [[nodiscard]] static Sink stderr_sink();
+
+ private:
+  TraceLevel level_ = TraceLevel::kOff;
+  Sink sink_;
+};
+
+}  // namespace son::sim

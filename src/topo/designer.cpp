@@ -1,0 +1,136 @@
+#include "topo/designer.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace son::topo {
+
+namespace {
+
+/// All-pairs shortest-path distances of a weighted graph (Dijkstra per node;
+/// the designer's graphs are tiny).
+std::vector<std::vector<double>> all_pairs(const Graph& g) {
+  std::vector<std::vector<double>> d;
+  d.reserve(g.num_nodes());
+  for (NodeIndex u = 0; u < g.num_nodes(); ++u) {
+    d.push_back(dijkstra(g, u).dist);
+  }
+  return d;
+}
+
+/// Worst pairwise stretch of `g` relative to baseline distances; infinity if
+/// any baseline-reachable pair became unreachable.
+double worst_stretch(const Graph& g, const std::vector<std::vector<double>>& base) {
+  const auto cur = all_pairs(g);
+  double worst = 1.0;
+  for (NodeIndex a = 0; a < g.num_nodes(); ++a) {
+    for (NodeIndex b = a + 1; b < g.num_nodes(); ++b) {
+      if (base[a][b] == std::numeric_limits<double>::infinity()) continue;
+      if (cur[a][b] == std::numeric_limits<double>::infinity()) {
+        return std::numeric_limits<double>::infinity();
+      }
+      worst = std::max(worst, cur[a][b] / base[a][b]);
+    }
+  }
+  return worst;
+}
+
+Graph build_graph(std::size_t n, const std::vector<std::pair<NodeIndex, NodeIndex>>& edges,
+                  const std::vector<double>& weights) {
+  Graph g(n);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    g.add_edge(edges[i].first, edges[i].second, weights[i]);
+  }
+  return g;
+}
+
+}  // namespace
+
+std::optional<DesignResult> design_overlay(
+    const std::vector<City>& cities, const DesignOptions& opts,
+    const std::vector<std::pair<NodeIndex, NodeIndex>>* fiber_routes) {
+  const auto n = static_cast<NodeIndex>(cities.size());
+
+  // Candidate links: provided fiber routes, or every short-enough pair.
+  std::vector<std::pair<NodeIndex, NodeIndex>> cand;
+  std::vector<double> lat;
+  const auto consider = [&](NodeIndex a, NodeIndex b) {
+    const double ms = fiber_latency(cities[a], cities[b], opts.route_inflation).to_millis_f();
+    if (ms <= opts.max_link_ms) {
+      cand.emplace_back(a, b);
+      lat.push_back(ms);
+    }
+  };
+  if (fiber_routes != nullptr) {
+    for (const auto& [a, b] : *fiber_routes) consider(a, b);
+  } else {
+    for (NodeIndex a = 0; a < n; ++a) {
+      for (NodeIndex b = a + 1; b < n; ++b) consider(a, b);
+    }
+  }
+
+  Graph dense = build_graph(n, cand, lat);
+  if (!is_biconnected(dense)) return std::nullopt;  // sites too sparse to design for
+  const auto base = all_pairs(dense);
+
+  // Greedy pruning: repeatedly drop the LONGEST remaining link whose removal
+  // keeps the topology biconnected, every degree >= min_degree, and all
+  // stretches within bound. Longest-first removes the links that violate the
+  // "short overlay links" principle hardest while the chords that provide
+  // disjointness survive.
+  std::vector<bool> alive(cand.size(), true);
+  std::vector<std::size_t> order(cand.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return lat[a] > lat[b]; });
+
+  const auto rebuild = [&]() {
+    std::vector<std::pair<NodeIndex, NodeIndex>> edges;
+    std::vector<double> weights;
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      if (alive[i]) {
+        edges.push_back(cand[i]);
+        weights.push_back(lat[i]);
+      }
+    }
+    return build_graph(n, edges, weights);
+  };
+
+  bool changed = true;
+  std::size_t live = cand.size();
+  while (changed) {
+    changed = false;
+    for (const std::size_t i : order) {
+      if (!alive[i]) continue;
+      alive[i] = false;
+      const Graph trial = rebuild();
+      bool ok = is_biconnected(trial) && worst_stretch(trial, base) <= opts.max_stretch;
+      if (ok) {
+        for (NodeIndex u = 0; u < n && ok; ++u) {
+          ok = trial.neighbors(u).size() >= opts.min_degree;
+        }
+      }
+      if (ok) {
+        --live;
+        changed = true;
+      } else {
+        alive[i] = true;
+      }
+    }
+  }
+  if (live > opts.max_links) return std::nullopt;  // cannot fit the mask cap
+
+  DesignResult out{.edges = {}, .graph = Graph{n}, .achieved_stretch = 1.0};
+  std::vector<double> weights;
+  for (std::size_t i = 0; i < cand.size(); ++i) {
+    if (alive[i]) {
+      out.edges.push_back(cand[i]);
+      weights.push_back(lat[i]);
+    }
+  }
+  out.graph = build_graph(n, out.edges, weights);
+  out.achieved_stretch = worst_stretch(out.graph, base);
+  return out;
+}
+
+}  // namespace son::topo

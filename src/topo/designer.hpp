@@ -1,0 +1,55 @@
+// Overlay topology design (§II-A).
+//
+// "To exploit physical disjointness available in the underlying networks,
+// the overlay node locations and connections are selected strategically...
+// The overlay topology can then be designed in accordance with the
+// underlying network topology, based on available ISP backbone maps.
+// Overlay links are designed to be short (on the order of 10ms)...
+// Because short overlay links are preferred, it is not normally advised to
+// build a continent- or global-sized overlay as a clique."
+//
+// design_overlay() starts from the candidate fiber routes the providers
+// offer, keeps only short links, and prunes toward a sparse topology that
+// stays biconnected (no single site can partition it) and keeps every
+// pair's path within a latency-stretch bound of the dense graph — i.e. it
+// produces exactly the kind of map the built-in continental_us() hand-made.
+#pragma once
+
+#include <optional>
+
+#include "topo/geo.hpp"
+#include "topo/graph.hpp"
+
+namespace son::topo {
+
+struct DesignOptions {
+  /// Links longer than this are not built (the ~10 ms rule; a little slack
+  /// for geography). Ignored for candidates explicitly provided.
+  double max_link_ms = 12.0;
+  /// Abort pruning before any node drops below this degree.
+  std::size_t min_degree = 2;
+  /// Hard cap from the 64-bit source-routing mask.
+  std::size_t max_links = 64;
+  /// A pruned topology may not stretch any pair's shortest path beyond this
+  /// factor of the dense candidate graph's distance.
+  double max_stretch = 1.35;
+  double route_inflation = 1.3;
+};
+
+struct DesignResult {
+  /// Selected overlay links as city-index pairs, with one-way latencies.
+  std::vector<std::pair<NodeIndex, NodeIndex>> edges;
+  Graph graph;  // the same edges as a weighted graph (ms)
+  /// Worst pairwise stretch of the result vs the dense candidate graph.
+  double achieved_stretch = 1.0;
+};
+
+/// Designs an overlay topology over `cities`. Candidates default to every
+/// pair within max_link_ms; pass `fiber_routes` to restrict to city pairs
+/// the providers actually have fiber between (§II-A: "based on available
+/// ISP backbone maps").
+[[nodiscard]] std::optional<DesignResult> design_overlay(
+    const std::vector<City>& cities, const DesignOptions& opts,
+    const std::vector<std::pair<NodeIndex, NodeIndex>>* fiber_routes = nullptr);
+
+}  // namespace son::topo

@@ -1,0 +1,71 @@
+#include "topo/dissemination.hpp"
+
+#include <algorithm>
+
+namespace son::topo {
+
+EdgeSet k_disjoint_edges(const Graph& g, NodeIndex src, NodeIndex dst, std::size_t k) {
+  EdgeSet out;
+  for (const Path& p : k_node_disjoint_paths(g, src, dst, k)) {
+    out = union_edges(out, path_edges(g, p));
+  }
+  return out;
+}
+
+EdgeSet all_edges(const Graph& g) {
+  EdgeSet out(g.num_edges());
+  for (EdgeIndex e = 0; e < g.num_edges(); ++e) out[e] = e;
+  return out;
+}
+
+namespace {
+
+/// Adds up to `extra` additional adjacent edges of `pivot` to `edges`,
+/// connecting each new attachment node back toward `anchor` by a shortest
+/// path that avoids `pivot` (so the added redundancy does not just re-merge
+/// at the node it is meant to protect).
+void add_fan(const Graph& g, NodeIndex pivot, NodeIndex anchor, std::size_t extra,
+             EdgeSet& edges) {
+  if (extra == 0) return;
+  std::vector<bool> edge_in(g.num_edges(), false);
+  for (const EdgeIndex e : edges) edge_in[e] = true;
+
+  // Candidate fan edges at the pivot, cheapest neighbors first.
+  auto nbrs = g.neighbors(pivot);
+  std::sort(nbrs.begin(), nbrs.end(), [&](const auto& a, const auto& b) {
+    return g.edge(a.second).weight < g.edge(b.second).weight;
+  });
+
+  std::vector<bool> avoid(g.num_nodes(), false);
+  avoid[pivot] = true;
+  std::size_t added = 0;
+  for (const auto& [nbr, e] : nbrs) {
+    if (added >= extra) break;
+    if (edge_in[e]) continue;
+    const auto connect = shortest_path(g, anchor, nbr, avoid);
+    if (!connect) continue;
+    edges.push_back(e);
+    edge_in[e] = true;
+    for (const EdgeIndex ce : path_edges(g, *connect)) {
+      if (!edge_in[ce]) {
+        edges.push_back(ce);
+        edge_in[ce] = true;
+      }
+    }
+    ++added;
+  }
+}
+
+}  // namespace
+
+EdgeSet dissemination_graph(const Graph& g, NodeIndex src, NodeIndex dst,
+                            const DissemOptions& opts) {
+  EdgeSet edges = k_disjoint_edges(g, src, dst, 2);
+  add_fan(g, dst, src, opts.dst_fanin, edges);
+  add_fan(g, src, dst, opts.src_fanout, edges);
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+}  // namespace son::topo

@@ -1,0 +1,42 @@
+// Dissemination-graph construction (paper §V-A, reference [2]).
+//
+// A dissemination graph is an arbitrary subgraph of the overlay topology over
+// which every packet of a flow is flooded (with de-duplication at each node).
+// "In contrast to disjoint paths, which add redundancy uniformly throughout
+// the network, dissemination graphs can be tailored based on current network
+// conditions to add targeted redundancy in problematic areas of the network."
+//
+// Following reference [2]'s finding that most packet loss clusters around the
+// source or destination, the tailored graphs here are *source-problem* and
+// *destination-problem* graphs: two node-disjoint paths plus extra fan-out at
+// the source / fan-in at the destination.
+#pragma once
+
+#include "topo/graph.hpp"
+
+namespace son::topo {
+
+/// Union of edges of up to k min-cost node-disjoint paths.
+[[nodiscard]] EdgeSet k_disjoint_edges(const Graph& g, NodeIndex src, NodeIndex dst,
+                                       std::size_t k);
+
+/// All edges of the graph (constrained flooding).
+[[nodiscard]] EdgeSet all_edges(const Graph& g);
+
+struct DissemOptions {
+  /// Extra neighbors of the source to fan out through (beyond the 2 disjoint
+  /// paths already leaving the source).
+  std::size_t src_fanout = 0;
+  /// Extra neighbors of the destination to fan in from.
+  std::size_t dst_fanin = 2;
+};
+
+/// Builds a targeted dissemination graph: 2 node-disjoint paths, plus up to
+/// `dst_fanin` additional last-hop edges into the destination (each connected
+/// back to the source by a shortest path avoiding the destination), plus up
+/// to `src_fanout` additional first-hop edges out of the source (each
+/// connected on to the destination by a shortest path avoiding the source).
+[[nodiscard]] EdgeSet dissemination_graph(const Graph& g, NodeIndex src, NodeIndex dst,
+                                          const DissemOptions& opts);
+
+}  // namespace son::topo

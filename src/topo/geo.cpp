@@ -1,0 +1,29 @@
+#include "topo/geo.hpp"
+
+#include <cmath>
+
+namespace son::topo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+constexpr double kDegToRad = 3.14159265358979323846 / 180.0;
+// Speed of light in fiber (refractive index ~1.47): ~204 km per ms.
+constexpr double kFiberKmPerMs = 204.0;
+}  // namespace
+
+double great_circle_km(const City& a, const City& b) {
+  const double lat1 = a.lat_deg * kDegToRad;
+  const double lat2 = b.lat_deg * kDegToRad;
+  const double dlat = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlon = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) * std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(h));
+}
+
+sim::Duration fiber_latency(const City& a, const City& b, double route_inflation) {
+  const double km = great_circle_km(a, b) * route_inflation;
+  return sim::Duration::from_millis_f(km / kFiberKmPerMs);
+}
+
+}  // namespace son::topo

@@ -1,0 +1,30 @@
+// Geography helpers: city coordinates and fiber propagation latency.
+//
+// The paper's latency arithmetic ("overlay links on the order of 10ms",
+// "propagation delay to cross a continent is on the order of 35-40ms") is
+// grounded in real geography; we derive link latencies from great-circle
+// distances with a route-inflation factor, matching those figures.
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace son::topo {
+
+struct City {
+  std::string name;
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance (haversine), kilometers.
+[[nodiscard]] double great_circle_km(const City& a, const City& b);
+
+/// One-way propagation latency over fiber following a realistic (non-
+/// geodesic) route. Light in fiber travels ~200 km/ms; `route_inflation`
+/// accounts for fiber paths not following great circles (1.0 = ideal).
+[[nodiscard]] sim::Duration fiber_latency(const City& a, const City& b,
+                                          double route_inflation = 1.3);
+
+}  // namespace son::topo

@@ -1,0 +1,108 @@
+// Small undirected weighted graph plus the routing algorithms the overlay
+// needs: shortest paths, k node-disjoint paths, and multicast trees.
+//
+// Overlay topologies are tiny (the paper: "a few tens of well situated
+// overlay nodes"), so everything here optimizes for clarity and determinism
+// over asymptotics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace son::topo {
+
+using NodeIndex = std::uint32_t;
+using EdgeIndex = std::uint32_t;
+inline constexpr NodeIndex kNoNode = static_cast<NodeIndex>(-1);
+inline constexpr EdgeIndex kNoEdge = static_cast<EdgeIndex>(-1);
+
+class Graph {
+ public:
+  struct Edge {
+    NodeIndex u;
+    NodeIndex v;
+    double weight;
+  };
+
+  explicit Graph(std::size_t num_nodes) : adj_(num_nodes) {}
+
+  /// Adds an undirected edge; returns its index. Weight must be >= 0.
+  EdgeIndex add_edge(NodeIndex u, NodeIndex v, double weight);
+  void set_weight(EdgeIndex e, double weight) { edges_.at(e).weight = weight; }
+
+  [[nodiscard]] std::size_t num_nodes() const { return adj_.size(); }
+  [[nodiscard]] std::size_t num_edges() const { return edges_.size(); }
+  [[nodiscard]] const Edge& edge(EdgeIndex e) const { return edges_.at(e); }
+  /// (neighbor, edge) pairs for node u.
+  [[nodiscard]] const std::vector<std::pair<NodeIndex, EdgeIndex>>& neighbors(
+      NodeIndex u) const {
+    return adj_.at(u);
+  }
+  [[nodiscard]] EdgeIndex find_edge(NodeIndex u, NodeIndex v) const;
+  [[nodiscard]] NodeIndex other_end(EdgeIndex e, NodeIndex from) const;
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::pair<NodeIndex, EdgeIndex>>> adj_;
+};
+
+/// A path as a node sequence (front() == src, back() == dst).
+using Path = std::vector<NodeIndex>;
+/// A set of edges forming a subgraph (e.g. a dissemination graph).
+using EdgeSet = std::vector<EdgeIndex>;
+
+struct ShortestPaths {
+  std::vector<double> dist;        // infinity if unreachable
+  std::vector<NodeIndex> parent;   // kNoNode for src / unreachable
+  std::vector<EdgeIndex> parent_edge;
+};
+
+/// Single-source Dijkstra. `disabled_nodes` (optional, may be empty) are
+/// treated as absent — used for routing around failed/compromised nodes.
+[[nodiscard]] ShortestPaths dijkstra(const Graph& g, NodeIndex src,
+                                     const std::vector<bool>& disabled_nodes = {});
+
+/// Extracts src→dst path from a Dijkstra result; nullopt if unreachable.
+[[nodiscard]] std::optional<Path> extract_path(const ShortestPaths& sp, NodeIndex src,
+                                               NodeIndex dst);
+
+[[nodiscard]] std::optional<Path> shortest_path(const Graph& g, NodeIndex src, NodeIndex dst,
+                                                const std::vector<bool>& disabled_nodes = {});
+
+[[nodiscard]] double path_cost(const Graph& g, const Path& p);
+
+/// Up to k mutually node-disjoint (except endpoints) src→dst paths with
+/// minimum total weight, via min-cost unit-capacity flow on the node-split
+/// graph (Suurballe generalized to k and node-disjointness). Returns fewer
+/// than k paths if the graph's connectivity is lower.
+[[nodiscard]] std::vector<Path> k_node_disjoint_paths(const Graph& g, NodeIndex src,
+                                                      NodeIndex dst, std::size_t k);
+
+/// Edges of the shortest-path tree from `src` pruned to reach `terminals`.
+/// This is the overlay's multicast dissemination tree.
+[[nodiscard]] EdgeSet multicast_tree(const Graph& g, NodeIndex src,
+                                     const std::vector<NodeIndex>& terminals);
+
+/// Converts a node path to the edge set it traverses.
+[[nodiscard]] EdgeSet path_edges(const Graph& g, const Path& p);
+
+/// Union of edge sets, deduplicated, sorted.
+[[nodiscard]] EdgeSet union_edges(const EdgeSet& a, const EdgeSet& b);
+
+/// True if dst is reachable from src using only `edges`, with
+/// `disabled_nodes` removed (endpoints may not be disabled).
+[[nodiscard]] bool reachable_in_subgraph(const Graph& g, const EdgeSet& edges, NodeIndex src,
+                                         NodeIndex dst, const std::vector<bool>& disabled_nodes);
+
+/// True if every node can reach every other (ignoring edge weights).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Articulation points (cut vertices) via Tarjan's low-link algorithm.
+/// A graph with none (and connected, n >= 3) is biconnected: no single node
+/// failure can partition it — the resilience bar for overlay topologies.
+[[nodiscard]] std::vector<NodeIndex> articulation_points(const Graph& g);
+
+[[nodiscard]] bool is_biconnected(const Graph& g);
+
+}  // namespace son::topo

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+
+namespace son::crypto {
+namespace {
+
+// FIPS 180-4 / NIST test vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.finish(), Sha256::hash(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55/56/63/64/65 bytes straddle the padding edge cases.
+  for (const std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string m(len, 'x');
+    Sha256 a;
+    a.update(m);
+    EXPECT_EQ(a.finish(), Sha256::hash(m)) << len;
+  }
+}
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+// RFC 4231 test case 2.
+TEST(Hmac, Rfc4231Case2) {
+  const auto key = bytes("Jefe");
+  const auto msg = bytes("what do ya want for nothing?");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 1.
+TEST(Hmac, Rfc4231Case1) {
+  const std::vector<std::uint8_t> key(20, 0x0b);
+  const auto msg = bytes("Hi There");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 6: key longer than block size.
+TEST(Hmac, LongKeyIsHashedFirst) {
+  const std::vector<std::uint8_t> key(131, 0xaa);
+  const auto msg = bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(to_hex(hmac_sha256(key, msg)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, TagTruncationIsPrefix) {
+  const auto key = bytes("k");
+  const auto msg = bytes("m");
+  const Digest d = hmac_sha256(key, msg);
+  const Tag t = hmac_tag(key, msg);
+  EXPECT_TRUE(std::equal(t.begin(), t.end(), d.begin()));
+}
+
+TEST(Hmac, VerifyTagConstantTimeEquality) {
+  const auto key = bytes("key");
+  const auto msg = bytes("message");
+  const Tag t = hmac_tag(key, msg);
+  EXPECT_TRUE(verify_tag(t, t));
+  Tag bad = t;
+  bad[15] ^= 1;
+  EXPECT_FALSE(verify_tag(t, bad));
+}
+
+TEST(Keys, PairKeySymmetric) {
+  Key master{};
+  master[0] = 0x42;
+  EXPECT_EQ(derive_pair_key(master, 3, 7), derive_pair_key(master, 7, 3));
+  EXPECT_NE(derive_pair_key(master, 3, 7), derive_pair_key(master, 3, 8));
+}
+
+TEST(Keys, TableSignVerifyRoundTrip) {
+  Key master{};
+  master[5] = 0x99;
+  KeyTable alice(master, 0, 4);
+  KeyTable bob(master, 1, 4);
+  const auto msg = bytes("attack at dawn");
+  const Tag t = alice.sign(1, msg);
+  EXPECT_TRUE(bob.verify(0, msg, t));
+  // A third node's key fails to verify.
+  KeyTable carol(master, 2, 4);
+  EXPECT_FALSE(carol.verify(0, msg, t));
+  // Tampered message fails.
+  auto tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(bob.verify(0, tampered, t));
+}
+
+TEST(Keys, DifferentMastersDisagree) {
+  Key m1{}, m2{};
+  m2[31] = 1;
+  EXPECT_NE(derive_pair_key(m1, 0, 1), derive_pair_key(m2, 0, 1));
+}
+
+}  // namespace
+}  // namespace son::crypto

@@ -1,0 +1,302 @@
+#include "net/internet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/failures.hpp"
+
+namespace son::net {
+namespace {
+
+using namespace son::sim::literals;
+using sim::Duration;
+using sim::Simulator;
+using sim::TimePoint;
+
+LinkConfig link_ms(std::int64_t ms) {
+  LinkConfig cfg;
+  cfg.prop_delay = Duration::milliseconds(ms);
+  cfg.bandwidth_bps = 1e9;
+  return cfg;
+}
+
+/// Triangle in one ISP: a-b direct (10ms) and a-c-b detour (5+5... uses 20ms).
+struct Triangle {
+  Simulator sim;
+  Internet inet{sim, sim::Rng{42}};
+  IspId isp;
+  RouterId ra, rb, rc;
+  LinkId ab, ac, cb;
+  HostId ha, hb;
+
+  Triangle() {
+    isp = inet.add_isp("one");
+    ra = inet.add_router(isp, "a");
+    rb = inet.add_router(isp, "b");
+    rc = inet.add_router(isp, "c");
+    ab = inet.add_link(ra, rb, link_ms(10));
+    ac = inet.add_link(ra, rc, link_ms(15));
+    cb = inet.add_link(rc, rb, link_ms(15));
+    ha = inet.add_host("ha");
+    hb = inet.add_host("hb");
+    inet.attach_host(ha, ra, link_ms(0));
+    inet.attach_host(hb, rb, link_ms(0));
+  }
+};
+
+TEST(Internet, DeliversOverShortestPath) {
+  Triangle t;
+  int got = 0;
+  TimePoint when;
+  t.inet.bind(t.hb, [&](const Datagram&) {
+    ++got;
+    when = t.sim.now();
+  });
+  Datagram d;
+  d.src = t.ha;
+  d.dst = t.hb;
+  t.inet.send(d);
+  t.sim.run();
+  EXPECT_EQ(got, 1);
+  // 10 ms propagation + 2 router hops of 50us + serialization epsilon.
+  EXPECT_GE(when, TimePoint::zero() + 10_ms);
+  EXPECT_LT(when, TimePoint::zero() + 11_ms);
+}
+
+TEST(Internet, PathLatencyMatchesTopology) {
+  Triangle t;
+  const auto lat = t.inet.path_latency(t.ha, kAnyAttach, t.hb, kAnyAttach);
+  ASSERT_TRUE(lat.has_value());
+  EXPECT_NEAR(lat->to_millis_f(), 10.1, 0.2);
+}
+
+TEST(Internet, PathRoutersReportsRoute) {
+  Triangle t;
+  const auto path = t.inet.path_routers(t.ha, kAnyAttach, t.hb, kAnyAttach);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<RouterId>{t.ra, t.rb}));
+}
+
+TEST(Internet, FailureDropsUntilConvergenceThenReroutes) {
+  Triangle t;
+  int got = 0;
+  t.inet.bind(t.hb, [&](const Datagram&) { ++got; });
+
+  // Cut the direct link at t=1s. Convergence delay is 40s.
+  t.sim.schedule_at(TimePoint::zero() + 1_s, [&]() { t.inet.set_link_up(t.ab, false); });
+
+  // Probe every second for 90 s.
+  for (int i = 0; i < 90; ++i) {
+    t.sim.schedule_at(TimePoint::zero() + Duration::seconds(i), [&]() {
+      Datagram d;
+      d.src = t.ha;
+      d.dst = t.hb;
+      t.inet.send(d);
+    });
+  }
+  t.sim.run();
+  // Sent 90: ~1 before the cut, then dropped during [1s, 41s) (stale route),
+  // delivered again after convergence (~49 of them).
+  EXPECT_EQ(t.inet.counters().sent, 90u);
+  const auto stale = t.inet.counters().dropped[static_cast<int>(DropReason::kStaleRoute)];
+  EXPECT_GE(stale, 38u);
+  EXPECT_LE(stale, 41u);
+  EXPECT_GE(got, 48);
+}
+
+TEST(Internet, ReroutesOverDetourAfterConvergence) {
+  Triangle t;
+  TimePoint when;
+  int got = 0;
+  t.inet.bind(t.hb, [&](const Datagram&) {
+    ++got;
+    when = t.sim.now();
+  });
+  t.inet.set_link_up(t.ab, false);
+  // After convergence, the 30 ms detour through c carries traffic.
+  t.sim.schedule_at(TimePoint::zero() + 50_s, [&]() {
+    Datagram d;
+    d.src = t.ha;
+    d.dst = t.hb;
+    t.inet.send(d);
+  });
+  t.sim.run();
+  ASSERT_EQ(got, 1);
+  EXPECT_NEAR((when - (TimePoint::zero() + 50_s)).to_millis_f(), 30.15, 0.5);
+}
+
+TEST(Internet, RepairAlsoTakesConvergenceTime) {
+  Triangle t;
+  t.inet.set_link_up(t.ab, false);
+  t.sim.run();  // converge on the failure
+  t.inet.set_link_up(t.ab, true);
+  // Immediately after repair, routing still believes the link is down.
+  const auto lat1 = t.inet.path_latency(t.ha, kAnyAttach, t.hb, kAnyAttach);
+  ASSERT_TRUE(lat1.has_value());
+  EXPECT_GT(lat1->to_millis_f(), 25.0);
+  t.sim.run();  // converge on the repair
+  const auto lat2 = t.inet.path_latency(t.ha, kAnyAttach, t.hb, kAnyAttach);
+  ASSERT_TRUE(lat2.has_value());
+  EXPECT_LT(lat2->to_millis_f(), 11.0);
+}
+
+TEST(Internet, NoRouteWhenPartitioned) {
+  Triangle t;
+  t.inet.set_link_up(t.ab, false);
+  t.inet.set_link_up(t.ac, false);
+  t.sim.run();  // converge
+  Datagram d;
+  d.src = t.ha;
+  d.dst = t.hb;
+  t.inet.send(d);
+  t.sim.run();
+  EXPECT_EQ(t.inet.counters().dropped[static_cast<int>(DropReason::kNoRoute)], 1u);
+}
+
+TEST(Internet, MultihomingPicksBestAttachment) {
+  Simulator sim;
+  Internet inet{sim, sim::Rng{1}};
+  const IspId a = inet.add_isp("a");
+  const IspId b = inet.add_isp("b");
+  const RouterId ra1 = inet.add_router(a, "ra1");
+  const RouterId ra2 = inet.add_router(a, "ra2");
+  const RouterId rb1 = inet.add_router(b, "rb1");
+  const RouterId rb2 = inet.add_router(b, "rb2");
+  inet.add_link(ra1, ra2, link_ms(30));
+  inet.add_link(rb1, rb2, link_ms(10));  // ISP b is faster
+  const HostId h1 = inet.add_host("h1");
+  const HostId h2 = inet.add_host("h2");
+  inet.attach_host(h1, ra1, link_ms(0));
+  inet.attach_host(h1, rb1, link_ms(0));
+  inet.attach_host(h2, ra2, link_ms(0));
+  inet.attach_host(h2, rb2, link_ms(0));
+
+  const auto lat = inet.path_latency(h1, kAnyAttach, h2, kAnyAttach);
+  ASSERT_TRUE(lat.has_value());
+  EXPECT_LT(lat->to_millis_f(), 11.0);
+
+  // Pinning to ISP a's attachments uses the slow backbone.
+  const auto lat_a = inet.path_latency(h1, 0, h2, 0);
+  ASSERT_TRUE(lat_a.has_value());
+  EXPECT_GT(lat_a->to_millis_f(), 29.0);
+}
+
+TEST(Internet, IspOutageFailsOverViaOtherIsp) {
+  Simulator sim;
+  Internet inet{sim, sim::Rng{2}};
+  const IspId a = inet.add_isp("a");
+  const IspId b = inet.add_isp("b");
+  const RouterId ra1 = inet.add_router(a, "ra1");
+  const RouterId ra2 = inet.add_router(a, "ra2");
+  const RouterId rb1 = inet.add_router(b, "rb1");
+  const RouterId rb2 = inet.add_router(b, "rb2");
+  inet.add_link(ra1, ra2, link_ms(10));
+  inet.add_link(rb1, rb2, link_ms(20));
+  const HostId h1 = inet.add_host("h1");
+  const HostId h2 = inet.add_host("h2");
+  inet.attach_host(h1, ra1, link_ms(0));
+  inet.attach_host(h1, rb1, link_ms(0));
+  inet.attach_host(h2, ra2, link_ms(0));
+  inet.attach_host(h2, rb2, link_ms(0));
+
+  inet.set_isp_up(a, false);
+  sim.run();  // converge
+  int got = 0;
+  inet.bind(h2, [&](const Datagram&) { ++got; });
+  Datagram d;
+  d.src = h1;
+  d.dst = h2;
+  inet.send(d);
+  sim.run();
+  EXPECT_EQ(got, 1);  // went via ISP b
+}
+
+TEST(Internet, SendToSelfAttachedRouterPair) {
+  // Hosts on the same router still get a route (empty router path).
+  Simulator sim;
+  Internet inet{sim, sim::Rng{3}};
+  const IspId a = inet.add_isp("a");
+  const RouterId r = inet.add_router(a, "r");
+  const HostId h1 = inet.add_host("h1");
+  const HostId h2 = inet.add_host("h2");
+  inet.attach_host(h1, r, link_ms(1));
+  inet.attach_host(h2, r, link_ms(1));
+  int got = 0;
+  inet.bind(h2, [&](const Datagram&) { ++got; });
+  Datagram d;
+  d.src = h1;
+  d.dst = h2;
+  inet.send(d);
+  sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(Internet, NoHandlerCountsDrop) {
+  Triangle t;
+  Datagram d;
+  d.src = t.ha;
+  d.dst = t.hb;  // hb has no handler bound
+  t.inet.send(d);
+  t.sim.run();
+  EXPECT_EQ(t.inet.counters().dropped[static_cast<int>(DropReason::kNoHandler)], 1u);
+}
+
+TEST(Internet, PayloadRoundTrips) {
+  Triangle t;
+  std::string got;
+  t.inet.bind(t.hb, [&](const Datagram& d) {
+    got = std::any_cast<std::string>(d.payload);
+  });
+  Datagram d;
+  d.src = t.ha;
+  d.dst = t.hb;
+  d.payload = std::string{"hello overlay"};
+  t.inet.send(d);
+  t.sim.run();
+  EXPECT_EQ(got, "hello overlay");
+}
+
+TEST(FailureScript, CutAndRestore) {
+  Triangle t;
+  FailureScript script{t.sim, t.inet};
+  script.cut_link(TimePoint::zero() + 1_s, t.ab, TimePoint::zero() + 2_s);
+  int got = 0;
+  t.inet.bind(t.hb, [&](const Datagram&) { ++got; });
+  // During the cut (and before convergence) the direct path blackholes.
+  t.sim.schedule_at(TimePoint::zero() + 1500_ms, [&]() {
+    Datagram d;
+    d.src = t.ha;
+    d.dst = t.hb;
+    t.inet.send(d);
+  });
+  // Well after restore, traffic flows again.
+  t.sim.schedule_at(TimePoint::zero() + 60_s, [&]() {
+    Datagram d;
+    d.src = t.ha;
+    d.dst = t.hb;
+    t.inet.send(d);
+  });
+  t.sim.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(FailureScript, LossBurstAffectsBothDirections) {
+  Triangle t;
+  FailureScript script{t.sim, t.inet};
+  script.loss_burst(TimePoint::zero(), TimePoint::zero() + 10_s, t.ab, 1.0);
+  int got = 0;
+  t.inet.bind(t.hb, [&](const Datagram&) { ++got; });
+  t.inet.bind(t.ha, [&](const Datagram&) { ++got; });
+  Datagram d;
+  d.src = t.ha;
+  d.dst = t.hb;
+  t.inet.send(d);
+  Datagram d2;
+  d2.src = t.hb;
+  d2.dst = t.ha;
+  t.inet.send(d2);
+  t.sim.run();
+  EXPECT_EQ(got, 0);
+}
+
+}  // namespace
+}  // namespace son::net

@@ -1,0 +1,109 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace son::net {
+namespace {
+
+using namespace son::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+
+LinkConfig fast_link() {
+  LinkConfig cfg;
+  cfg.prop_delay = 10_ms;
+  cfg.bandwidth_bps = 8e6;  // 1000 bytes takes 1 ms
+  cfg.max_queue_delay = 5_ms;
+  cfg.loss_rate = 0.0;
+  return cfg;
+}
+
+TEST(LinkDirection, PropagationPlusSerialization) {
+  LinkDirection link{fast_link(), sim::Rng{1}};
+  const auto out = link.transmit(TimePoint::zero(), 1000);
+  ASSERT_TRUE(out.delivered);
+  // 1 ms serialization + 10 ms propagation.
+  EXPECT_EQ(out.arrival, TimePoint::zero() + 11_ms);
+}
+
+TEST(LinkDirection, InfiniteBandwidthSkipsSerialization) {
+  LinkConfig cfg = fast_link();
+  cfg.bandwidth_bps = 0;
+  LinkDirection link{cfg, sim::Rng{2}};
+  const auto out = link.transmit(TimePoint::zero(), 1'000'000);
+  ASSERT_TRUE(out.delivered);
+  EXPECT_EQ(out.arrival, TimePoint::zero() + 10_ms);
+}
+
+TEST(LinkDirection, BackToBackPacketsQueue) {
+  LinkDirection link{fast_link(), sim::Rng{3}};
+  const auto a = link.transmit(TimePoint::zero(), 1000);
+  const auto b = link.transmit(TimePoint::zero(), 1000);
+  ASSERT_TRUE(a.delivered);
+  ASSERT_TRUE(b.delivered);
+  EXPECT_EQ(b.arrival - a.arrival, 1_ms);  // serialized one after the other
+}
+
+TEST(LinkDirection, QueueOverflowTailDrops) {
+  LinkDirection link{fast_link(), sim::Rng{4}};
+  // 1 ms per packet, max queue wait 5 ms: the 7th simultaneous packet would
+  // wait 6 ms > 5 ms.
+  int delivered = 0, dropped = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto out = link.transmit(TimePoint::zero(), 1000);
+    out.delivered ? ++delivered : ++dropped;
+    if (!out.delivered) {
+      EXPECT_EQ(out.reason, DropReason::kQueueOverflow);
+    }
+  }
+  EXPECT_EQ(delivered, 6);
+  EXPECT_EQ(dropped, 4);
+}
+
+TEST(LinkDirection, QueueDrainsOverTime) {
+  LinkDirection link{fast_link(), sim::Rng{5}};
+  for (int i = 0; i < 6; ++i) link.transmit(TimePoint::zero(), 1000);
+  EXPECT_GT(link.queue_delay(TimePoint::zero()), Duration::zero());
+  EXPECT_EQ(link.queue_delay(TimePoint::zero() + 10_ms), Duration::zero());
+  const auto out = link.transmit(TimePoint::zero() + 10_ms, 1000);
+  EXPECT_TRUE(out.delivered);
+}
+
+TEST(LinkDirection, LossModelApplies) {
+  LinkConfig cfg = fast_link();
+  cfg.loss_rate = 1.0;
+  LinkDirection link{cfg, sim::Rng{6}};
+  const auto out = link.transmit(TimePoint::zero(), 100);
+  EXPECT_FALSE(out.delivered);
+  EXPECT_EQ(out.reason, DropReason::kRandomLoss);
+}
+
+TEST(LinkDirection, ForcedLossWindowOnlyInsideWindow) {
+  LinkDirection link{fast_link(), sim::Rng{7}};
+  link.add_forced_loss_window(TimePoint::zero() + 10_ms, TimePoint::zero() + 20_ms, 1.0);
+  EXPECT_TRUE(link.transmit(TimePoint::zero() + 5_ms, 100).delivered);
+  EXPECT_FALSE(link.transmit(TimePoint::zero() + 15_ms, 100).delivered);
+  EXPECT_TRUE(link.transmit(TimePoint::zero() + 25_ms, 100).delivered);
+}
+
+TEST(LinkDirection, CountersTrackOutcomes) {
+  LinkConfig cfg = fast_link();
+  LinkDirection link{cfg, sim::Rng{8}};
+  for (int i = 0; i < 10; ++i) link.transmit(TimePoint::zero(), 1000);
+  const auto& c = link.counters();
+  EXPECT_EQ(c.offered, 10u);
+  EXPECT_EQ(c.delivered, 6u);
+  EXPECT_EQ(c.lost_queue, 4u);
+  EXPECT_EQ(c.bytes_delivered, 6000u);
+}
+
+TEST(LinkDirection, SetLossModelReplacesDefault) {
+  LinkDirection link{fast_link(), sim::Rng{9}};
+  link.set_loss_model(make_bernoulli(1.0));
+  EXPECT_FALSE(link.transmit(TimePoint::zero(), 100).delivered);
+  link.set_loss_model(make_no_loss());
+  EXPECT_TRUE(link.transmit(TimePoint::zero(), 100).delivered);
+}
+
+}  // namespace
+}  // namespace son::net

@@ -1,0 +1,132 @@
+#include "net/loss_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace son::net {
+namespace {
+
+using namespace son::sim::literals;
+using sim::Duration;
+using sim::TimePoint;
+
+TEST(BernoulliLoss, MatchesRate) {
+  sim::Rng rng{1};
+  BernoulliLoss loss{0.2};
+  int lost = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) lost += loss.lose(TimePoint::zero(), rng);
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.2, 0.01);
+  EXPECT_DOUBLE_EQ(loss.average_loss_rate(), 0.2);
+}
+
+TEST(NoLoss, NeverLoses) {
+  sim::Rng rng{2};
+  NoLoss loss;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(loss.lose(TimePoint::zero(), rng));
+  EXPECT_DOUBLE_EQ(loss.average_loss_rate(), 0.0);
+}
+
+TEST(GilbertElliott, AverageRateFormula) {
+  GilbertElliottLoss::Params p;
+  p.mean_good_time = 9_s;
+  p.mean_bad_time = 1_s;
+  p.loss_good = 0.0;
+  p.loss_bad = 0.5;
+  GilbertElliottLoss ge{p, sim::Rng{3}};
+  EXPECT_NEAR(ge.average_loss_rate(), 0.05, 1e-12);
+}
+
+TEST(GilbertElliott, EmpiricalRateMatchesFormula) {
+  GilbertElliottLoss::Params p;
+  p.mean_good_time = 900_ms;
+  p.mean_bad_time = 100_ms;
+  p.loss_good = 0.001;
+  p.loss_bad = 0.4;
+  GilbertElliottLoss ge{p, sim::Rng{4}};
+  sim::Rng rng{5};
+  int lost = 0;
+  const int n = 200000;
+  // One query per 1 ms of simulated time.
+  for (int i = 0; i < n; ++i) {
+    lost += ge.lose(TimePoint::zero() + Duration::milliseconds(i), rng);
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / n, ge.average_loss_rate(), 0.01);
+}
+
+TEST(GilbertElliott, LossIsBursty) {
+  // Consecutive (1 ms apart) packets should be lost together far more often
+  // than independent losses at the same average rate would be.
+  GilbertElliottLoss::Params p;
+  p.mean_good_time = 2_s;
+  p.mean_bad_time = 60_ms;
+  p.loss_good = 0.0;
+  p.loss_bad = 0.9;
+  GilbertElliottLoss ge{p, sim::Rng{6}};
+  sim::Rng rng{7};
+  const int n = 500000;
+  int lost = 0, pair_lost = 0;
+  bool prev = false;
+  for (int i = 0; i < n; ++i) {
+    const bool l = ge.lose(TimePoint::zero() + Duration::milliseconds(i), rng);
+    lost += l;
+    pair_lost += (l && prev);
+    prev = l;
+  }
+  const double rate = static_cast<double>(lost) / n;
+  const double pair_rate = static_cast<double>(pair_lost) / n;
+  // Independent losses: P(two in a row) == rate^2. Bursty: far larger.
+  EXPECT_GT(pair_rate, 10 * rate * rate);
+}
+
+TEST(GilbertElliott, StateAdvancesLazily) {
+  GilbertElliottLoss::Params p;
+  p.mean_good_time = 10_ms;
+  p.mean_bad_time = 10_ms;
+  p.loss_good = 0.0;
+  p.loss_bad = 1.0;
+  GilbertElliottLoss ge{p, sim::Rng{8}};
+  // Sampling only at sparse times must still flip states (no hang /
+  // correct catch-up across many sojourns).
+  int bad_seen = 0;
+  for (int i = 0; i < 100; ++i) {
+    bad_seen += ge.in_bad_state(TimePoint::zero() + Duration::seconds(i));
+  }
+  EXPECT_GT(bad_seen, 20);
+  EXPECT_LT(bad_seen, 80);
+}
+
+TEST(GilbertElliott, SpacedProbesDecorrelate) {
+  // Probes spaced far beyond the bad-state sojourn should rarely both fail:
+  // the mechanism NM-Strikes spacing exploits.
+  GilbertElliottLoss::Params p;
+  p.mean_good_time = 1_s;
+  p.mean_bad_time = 40_ms;
+  p.loss_good = 0.0;
+  p.loss_bad = 1.0;
+  GilbertElliottLoss ge{p, sim::Rng{9}};
+  sim::Rng rng{10};
+  int both_close = 0, both_far = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const TimePoint base = TimePoint::zero() + Duration::milliseconds(i * 500);
+    const bool a = ge.lose(base, rng);
+    const bool close_b = ge.lose(base + 2_ms, rng);
+    const bool far_b = ge.lose(base + 200_ms, rng);
+    both_close += (a && close_b);
+    both_far += (a && far_b);
+  }
+  EXPECT_GT(both_close, 3 * std::max(both_far, 1));
+}
+
+TEST(Factories, ProduceWorkingModels) {
+  sim::Rng rng{11};
+  auto none = make_no_loss();
+  auto bern = make_bernoulli(1.0);
+  EXPECT_FALSE(none->lose(TimePoint::zero(), rng));
+  EXPECT_TRUE(bern->lose(TimePoint::zero(), rng));
+  auto ge = make_gilbert_elliott({}, sim::Rng{12});
+  EXPECT_GT(ge->average_loss_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace son::net

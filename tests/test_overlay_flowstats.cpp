@@ -1,0 +1,118 @@
+// Tests for the session's per-flow statistics (§II-C flow-based processing).
+#include <gtest/gtest.h>
+
+#include "client/traffic.hpp"
+#include "overlay/network.hpp"
+
+namespace son::overlay {
+namespace {
+
+using namespace son::sim::literals;
+using sim::Duration;
+using sim::Simulator;
+
+struct FlowFixture {
+  Simulator sim;
+  GraphFixture fx;
+
+  FlowFixture() {
+    GraphOptions gopts;
+    fx = build_graph_fixture(sim, circulant_topology(6), gopts, sim::Rng{60});
+    fx.overlay->settle(3_s);
+  }
+};
+
+TEST(FlowStats, TracksIdentityCountsAndLatency) {
+  FlowFixture f;
+  auto& src = f.fx.overlay->node(0).connect(7);
+  auto& dst = f.fx.overlay->node(3).connect(8);
+  client::MeasuringSink sink{dst};
+  ServiceSpec spec;
+  spec.link_protocol = LinkProtocol::kReliable;
+  for (int i = 0; i < 25; ++i) {
+    src.send(Destination::unicast(3, 8), make_payload(200), spec);
+  }
+  f.sim.run_for(1_s);
+
+  const auto& flows = f.fx.overlay->node(3).session_flows();
+  ASSERT_EQ(flows.size(), 1u);
+  const FlowStats& fs = flows.begin()->second;
+  EXPECT_EQ(fs.origin, 0);
+  EXPECT_EQ(fs.src_port, 7);
+  EXPECT_EQ(fs.dest.port, 8);
+  EXPECT_EQ(fs.link_protocol, LinkProtocol::kReliable);
+  EXPECT_EQ(fs.delivered, 25u);
+  EXPECT_EQ(fs.bytes, 25u * 200u);
+  EXPECT_EQ(fs.highest_seq, 25u);
+  EXPECT_EQ(fs.gaps, 0u);
+  EXPECT_GT(fs.ewma_latency, Duration::zero());
+  EXPECT_GE(fs.max_latency, fs.ewma_latency);
+  EXPECT_GT(fs.last_delivery, sim::TimePoint::zero());
+}
+
+TEST(FlowStats, SeparatesConcurrentFlows) {
+  FlowFixture f;
+  auto& c1 = f.fx.overlay->node(0).connect(1);
+  auto& c2 = f.fx.overlay->node(1).connect(1);
+  auto& dst = f.fx.overlay->node(3).connect(8);
+  client::MeasuringSink sink{dst};
+  for (int i = 0; i < 10; ++i) {
+    c1.send(Destination::unicast(3, 8), make_payload(100), ServiceSpec{});
+  }
+  for (int i = 0; i < 5; ++i) {
+    c2.send(Destination::unicast(3, 8), make_payload(100), ServiceSpec{});
+  }
+  f.sim.run_for(1_s);
+  const auto& flows = f.fx.overlay->node(3).session_flows();
+  ASSERT_EQ(flows.size(), 2u);
+  std::uint64_t total = 0;
+  for (const auto& [key, fs] : flows) total += fs.delivered;
+  EXPECT_EQ(total, 15u);
+}
+
+TEST(FlowStats, GapsCountLossUnderBestEffort) {
+  FlowFixture f;
+  // 20% loss on every fiber: best-effort flows lose packets, which must show
+  // up as observed sequence gaps at the terminating session.
+  for (const auto l : f.fx.fiber) {
+    const auto [a, b] = f.fx.internet->link_endpoints(l);
+    f.fx.internet->link_dir(l, a).set_loss_model(net::make_bernoulli(0.2));
+  }
+  auto& src = f.fx.overlay->node(0).connect(1);
+  auto& dst = f.fx.overlay->node(3).connect(8);
+  client::MeasuringSink sink{dst};
+  for (int i = 0; i < 200; ++i) {
+    src.send(Destination::unicast(3, 8), make_payload(100), ServiceSpec{});
+  }
+  f.sim.run_for(2_s);
+  const auto& flows = f.fx.overlay->node(3).session_flows();
+  ASSERT_EQ(flows.size(), 1u);
+  const FlowStats& fs = flows.begin()->second;
+  EXPECT_LT(fs.delivered, 200u);
+  EXPECT_GT(fs.gaps, 0u);
+}
+
+TEST(FlowStats, MulticastFlowCountedAtEachMemberNode) {
+  FlowFixture f;
+  constexpr GroupId kG = 99;
+  auto& m1 = f.fx.overlay->node(2).connect(8);
+  auto& m2 = f.fx.overlay->node(4).connect(8);
+  m1.join(kG);
+  m2.join(kG);
+  client::MeasuringSink s1{m1}, s2{m2};
+  f.sim.run_for(2_s);
+  auto& src = f.fx.overlay->node(0).connect(1);
+  for (int i = 0; i < 7; ++i) {
+    src.send(Destination::multicast(kG), make_payload(64), ServiceSpec{});
+  }
+  f.sim.run_for(1_s);
+  for (const NodeId n : {2, 4}) {
+    const auto& flows = f.fx.overlay->node(n).session_flows();
+    ASSERT_EQ(flows.size(), 1u) << "node " << n;
+    EXPECT_EQ(flows.begin()->second.delivered, 7u);
+    EXPECT_EQ(flows.begin()->second.dest.group, kG);
+  }
+}
+
+}  // namespace
+}  // namespace son::overlay

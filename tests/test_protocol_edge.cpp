@@ -1,0 +1,186 @@
+// Protocol edge cases: asymmetric (feedback-path) loss, retransmission
+// bounds, wire-size accounting, and IT-Reliable interleaving.
+#include <gtest/gtest.h>
+
+#include "client/traffic.hpp"
+#include "fake_link.hpp"
+#include "overlay/network.hpp"
+#include "overlay/fec.hpp"
+#include "overlay/it_fair.hpp"
+#include "overlay/realtime.hpp"
+#include "overlay/reliable_link.hpp"
+
+namespace son::overlay {
+namespace {
+
+using namespace son::sim::literals;
+using sim::Duration;
+using sim::Simulator;
+using son::test::FakeLinkPair;
+using son::test::make_msg;
+
+TEST(ReliableEdge, SurvivesAckPathLoss) {
+  // Heavy loss on the b->a (ack) direction only: data flows cleanly, acks
+  // die. Delivery must still be exactly-once; the cost is retransmissions
+  // the receiver dedups.
+  Simulator sim;
+  FakeLinkPair pair{sim, 5_ms, 0.0, 61};
+  pair.set_loss_b_to_a(net::make_bernoulli(0.7));
+  auto a = make_link_endpoint(LinkProtocol::kReliable, pair.ctx_a(), {});
+  auto b = make_link_endpoint(LinkProtocol::kReliable, pair.ctx_b(), {});
+  pair.attach(a.get(), b.get());
+  const int n = 200;
+  for (int i = 1; i <= n; ++i) {
+    sim.schedule(Duration::milliseconds(i * 2), [&, i]() {
+      a->send(make_msg(static_cast<std::uint64_t>(i), sim.now()));
+    });
+  }
+  sim.run_for(30_s);
+  EXPECT_EQ(pair.ctx_b().delivered.size(), static_cast<std::size_t>(n));
+  auto* rx = dynamic_cast<ReliableLinkEndpoint*>(b.get());
+  EXPECT_GT(rx->stats().duplicates_received, 0u);  // retransmissions arrived twice
+}
+
+TEST(ReliableEdge, RetransmissionsBoundedOnCleanLink) {
+  // Zero loss: the protocol must not retransmit at all (no spurious RTOs
+  // under steady traffic with healthy RTT estimates).
+  Simulator sim;
+  FakeLinkPair pair{sim, 5_ms, 0.0, 62};
+  auto a = make_link_endpoint(LinkProtocol::kReliable, pair.ctx_a(), {});
+  auto b = make_link_endpoint(LinkProtocol::kReliable, pair.ctx_b(), {});
+  pair.attach(a.get(), b.get());
+  for (int i = 1; i <= 500; ++i) {
+    sim.schedule(Duration::milliseconds(i), [&, i]() {
+      a->send(make_msg(static_cast<std::uint64_t>(i), sim.now()));
+    });
+  }
+  sim.run_for(5_s);
+  auto* tx = dynamic_cast<ReliableLinkEndpoint*>(a.get());
+  EXPECT_EQ(tx->stats().retransmissions, 0u);
+  EXPECT_EQ(pair.ctx_b().delivered.size(), 500u);
+}
+
+TEST(RealtimeEdge2, RequestPathLossCoveredByNStrikes) {
+  // All but the last request die on the feedback path: with N=3 the third
+  // request still triggers recovery; with N=1 the packet is lost.
+  const auto run = [](std::uint8_t n_req) {
+    Simulator sim;
+    FakeLinkPair pair{sim, 5_ms, 0.0, 63};
+
+    class DropFirstData final : public net::LossModel {
+     public:
+      bool lose(sim::TimePoint, sim::Rng&) override { return std::exchange(first_, false); }
+      [[nodiscard]] double average_loss_rate() const override { return 0.0; }
+
+     private:
+      bool first_ = true;
+    };
+    class DropFirstTwo final : public net::LossModel {
+     public:
+      bool lose(sim::TimePoint, sim::Rng&) override { return ++n_ <= 2; }
+      [[nodiscard]] double average_loss_rate() const override { return 0.0; }
+
+     private:
+      int n_ = 0;
+    };
+    pair.set_loss_a_to_b(std::make_unique<DropFirstData>());
+    pair.set_loss_b_to_a(std::make_unique<DropFirstTwo>());
+    auto a = make_link_endpoint(LinkProtocol::kRealtimeNM, pair.ctx_a(), {});
+    auto b = make_link_endpoint(LinkProtocol::kRealtimeNM, pair.ctx_b(), {});
+    pair.attach(a.get(), b.get());
+    Message m1 = make_msg(1, sim.now());
+    m1.hdr.deadline = 200_ms;
+    m1.hdr.nm_requests = n_req;
+    a->send(std::move(m1));
+    sim.schedule(5_ms, [&]() {
+      Message m2 = make_msg(2, sim.now());
+      m2.hdr.deadline = 200_ms;
+      m2.hdr.nm_requests = n_req;
+      a->send(std::move(m2));
+    });
+    sim.run_for(2_s);
+    return pair.ctx_b().delivered.size();
+  };
+  EXPECT_EQ(run(3), 2u);  // third strike lands
+  EXPECT_EQ(run(1), 1u);  // single strike lost with the request
+}
+
+TEST(FecEdge, ParityWireSizeAccounted) {
+  LinkFrame f;
+  f.type = FrameType::kParity;
+  ParityBlock block;
+  block.first_seq = 1;
+  block.headers.resize(4);
+  block.sizes = {100, 100, 100, 100};
+  block.xor_bytes.assign(100, 0);
+  f.control = block;
+  const auto size = frame_wire_size(f);
+  EXPECT_EQ(size, kLinkFrameBytes + 100 + 4 * 24);
+}
+
+TEST(FecEdge, InterleavedWithOtherProtocolsOnSameLink) {
+  // One link carrying FEC and Reliable flows simultaneously: separate
+  // endpoint instances, no cross-talk.
+  Simulator sim;
+  ChainOptions opts;
+  opts.n_nodes = 2;
+  auto fx = build_chain(sim, opts, sim::Rng{64});
+  fx.overlay->settle(3_s);
+  auto& c1 = fx.overlay->node(0).connect(1);
+  auto& c2 = fx.overlay->node(0).connect(2);
+  auto& d1 = fx.overlay->node(1).connect(11);
+  auto& d2 = fx.overlay->node(1).connect(12);
+  client::MeasuringSink s1{d1}, s2{d2};
+  ServiceSpec fec;
+  fec.link_protocol = LinkProtocol::kFec;
+  ServiceSpec rel;
+  rel.link_protocol = LinkProtocol::kReliable;
+  for (int i = 0; i < 20; ++i) {
+    c1.send(Destination::unicast(1, 11), make_payload(100), fec);
+    c2.send(Destination::unicast(1, 12), make_payload(100), rel);
+  }
+  sim.run_for(1_s);
+  EXPECT_EQ(s1.received(), 20u);
+  EXPECT_EQ(s2.received(), 20u);
+  EXPECT_NE(fx.overlay->node(0).find_endpoint(0, LinkProtocol::kFec), nullptr);
+  EXPECT_NE(fx.overlay->node(0).find_endpoint(0, LinkProtocol::kReliable), nullptr);
+}
+
+TEST(ItReliableEdge, InterleavedFlowsBothComplete) {
+  Simulator sim;
+  FakeLinkPair pair{sim, 5_ms, 0.1, 65};
+  LinkProtocolConfig cfg;
+  cfg.it_egress_msgs_per_sec = 2000;
+  auto a = make_link_endpoint(LinkProtocol::kITReliable, pair.ctx_a(), cfg);
+  auto b = make_link_endpoint(LinkProtocol::kITReliable, pair.ctx_b(), cfg);
+  pair.attach(a.get(), b.get());
+  for (int i = 1; i <= 50; ++i) {
+    sim.schedule(Duration::milliseconds(i * 3), [&, i]() {
+      a->send(make_msg(static_cast<std::uint64_t>(i), sim.now(), 0));  // flow A
+      a->send(make_msg(static_cast<std::uint64_t>(i), sim.now(), 1));  // flow B
+    });
+  }
+  sim.run_for(30_s);
+  int fa = 0, fb = 0;
+  for (const auto& m : pair.ctx_b().delivered) {
+    (m.hdr.origin == 0 ? fa : fb)++;
+  }
+  EXPECT_EQ(fa, 50);
+  EXPECT_EQ(fb, 50);
+}
+
+TEST(ItPriorityEdge, PriorityZeroStillFlowsWhenUncontended) {
+  Simulator sim;
+  FakeLinkPair pair{sim, 5_ms, 0.0, 66};
+  auto a = make_link_endpoint(LinkProtocol::kITPriority, pair.ctx_a(), {});
+  auto b = make_link_endpoint(LinkProtocol::kITPriority, pair.ctx_b(), {});
+  pair.attach(a.get(), b.get());
+  Message m = make_msg(1, sim.now());
+  m.hdr.priority = 0;
+  EXPECT_TRUE(a->send(std::move(m)));
+  sim.run_for(1_s);
+  EXPECT_EQ(pair.ctx_b().delivered.size(), 1u);
+}
+
+}  // namespace
+}  // namespace son::overlay

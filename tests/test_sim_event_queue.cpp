@@ -1,0 +1,106 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace son::sim {
+namespace {
+
+using namespace son::sim::literals;
+
+TimePoint at(std::int64_t ms) { return TimePoint::zero() + Duration::milliseconds(ms); }
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(at(30), [&]() { order.push_back(3); });
+  q.schedule(at(10), [&]() { order.push_back(1); });
+  q.schedule(at(20), [&]() { order.push_back(2); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(at(5), [&order, i]() { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().cb();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(at(10), [&]() { ++fired; });
+  q.schedule(at(20), [&]() { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelTwiceIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(at(10), []() {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelInvalidIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelFiredEventIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(at(10), []() {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const EventId id = q.schedule(at(10), []() {});
+  q.schedule(at(20), []() {});
+  q.cancel(id);
+  EXPECT_EQ(q.next_time(), at(20));
+}
+
+TEST(EventQueue, PopReturnsTimeAndCallback) {
+  EventQueue q;
+  int x = 0;
+  q.schedule(at(7), [&]() { x = 42; });
+  auto fired = q.pop();
+  EXPECT_EQ(fired.time, at(7));
+  fired.cb();
+  EXPECT_EQ(x, 42);
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(at(i), []() {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ManyInterleavedCancellations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.schedule(at(i), [&]() { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  EXPECT_EQ(q.size(), 500u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 500);
+}
+
+}  // namespace
+}  // namespace son::sim

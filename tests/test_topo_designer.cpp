@@ -1,0 +1,163 @@
+#include "topo/designer.hpp"
+
+#include "overlay/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topo/backbones.hpp"
+
+namespace son::topo {
+namespace {
+
+using namespace son::sim::literals;
+
+// ---- Graph-side primitives the designer relies on ---------------------------
+
+TEST(Biconnectivity, CycleIsBiconnected) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(3, 0, 1);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_biconnected(g));
+  EXPECT_TRUE(articulation_points(g).empty());
+}
+
+TEST(Biconnectivity, PathHasInteriorCutVertices) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_FALSE(is_biconnected(g));
+  EXPECT_EQ(articulation_points(g), (std::vector<NodeIndex>{1, 2}));
+}
+
+TEST(Biconnectivity, BridgeNodeBetweenTwoCycles) {
+  // Two triangles sharing node 2: node 2 is the articulation point.
+  Graph g(5);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 1);
+  g.add_edge(2, 0, 1);
+  g.add_edge(2, 3, 1);
+  g.add_edge(3, 4, 1);
+  g.add_edge(4, 2, 1);
+  EXPECT_EQ(articulation_points(g), (std::vector<NodeIndex>{2}));
+}
+
+TEST(Biconnectivity, DisconnectedGraphDetected) {
+  Graph g(4);
+  g.add_edge(0, 1, 1);
+  g.add_edge(2, 3, 1);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_FALSE(is_biconnected(g));
+}
+
+TEST(Biconnectivity, KnownMapsAreBiconnected) {
+  EXPECT_TRUE(is_biconnected(overlay_graph(continental_us())));
+  EXPECT_TRUE(is_biconnected(overlay_graph(global_sites())));
+}
+
+// ---- The designer itself ----------------------------------------------------
+
+TEST(Designer, UsCitiesProduceValidTopology) {
+  const auto cities = continental_us().cities;
+  DesignOptions opts;
+  const auto result = design_overlay(cities, opts);
+  ASSERT_TRUE(result.has_value());
+
+  // Every designed link respects the short-link rule.
+  for (std::size_t e = 0; e < result->graph.num_edges(); ++e) {
+    EXPECT_LE(result->graph.edge(static_cast<EdgeIndex>(e)).weight, opts.max_link_ms);
+  }
+  // Resilience: biconnected, min degree 2.
+  EXPECT_TRUE(is_biconnected(result->graph));
+  for (NodeIndex u = 0; u < result->graph.num_nodes(); ++u) {
+    EXPECT_GE(result->graph.neighbors(u).size(), 2u);
+  }
+  // Latency: bounded stretch vs the dense candidate graph.
+  EXPECT_LE(result->achieved_stretch, opts.max_stretch + 1e-9);
+  // Sparsity: far from a clique, within the 64-link mask cap.
+  EXPECT_LE(result->edges.size(), 64u);
+  EXPECT_LT(result->edges.size(), cities.size() * (cities.size() - 1) / 4);
+}
+
+TEST(Designer, PrunesComparedToDenseCandidates) {
+  const auto cities = continental_us().cities;
+  DesignOptions opts;
+  std::size_t dense_count = 0;
+  for (NodeIndex a = 0; a < cities.size(); ++a) {
+    for (NodeIndex b = static_cast<NodeIndex>(a + 1); b < cities.size(); ++b) {
+      if (fiber_latency(cities[a], cities[b], opts.route_inflation).to_millis_f() <=
+          opts.max_link_ms) {
+        ++dense_count;
+      }
+    }
+  }
+  const auto result = design_overlay(cities, opts);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LT(result->edges.size(), dense_count);
+}
+
+TEST(Designer, RespectsProvidedFiberRoutes) {
+  // Restrict candidates to the hand-made map's fiber: the designer can only
+  // pick a subset of those routes.
+  const auto map = continental_us();
+  DesignOptions opts;
+  const auto result = design_overlay(map.cities, opts, &map.edges);
+  ASSERT_TRUE(result.has_value());
+  for (const auto& [a, b] : result->edges) {
+    const bool in_fiber =
+        std::any_of(map.edges.begin(), map.edges.end(), [a = a, b = b](const auto& e) {
+          return (e.first == a && e.second == b) || (e.first == b && e.second == a);
+        });
+    EXPECT_TRUE(in_fiber) << a << "-" << b;
+  }
+  EXPECT_TRUE(is_biconnected(result->graph));
+}
+
+TEST(Designer, ImpossibleSitesReturnNullopt) {
+  // Two far-apart cities: no short link can exist, so no biconnected design.
+  const std::vector<City> cities{{"NYC", 40.71, -74.01}, {"LON", 51.51, -0.13}};
+  EXPECT_FALSE(design_overlay(cities, DesignOptions{}).has_value());
+}
+
+TEST(Designer, TighterStretchKeepsMoreLinks) {
+  const auto cities = continental_us().cities;
+  DesignOptions loose;
+  loose.max_stretch = 1.6;
+  DesignOptions tight;
+  tight.max_stretch = 1.05;
+  const auto l = design_overlay(cities, loose);
+  const auto t = design_overlay(cities, tight);
+  ASSERT_TRUE(l.has_value());
+  ASSERT_TRUE(t.has_value());
+  EXPECT_GE(t->edges.size(), l->edges.size());
+  EXPECT_LE(t->achieved_stretch, 1.05 + 1e-9);
+}
+
+TEST(Designer, DesignedTopologyWorksEndToEnd) {
+  // Deploy an overlay on a designer-produced topology and pass traffic.
+  const auto cities = continental_us().cities;
+  const auto result = design_overlay(cities, DesignOptions{});
+  ASSERT_TRUE(result.has_value());
+
+  sim::Simulator sim;
+  overlay::GraphOptions gopts;
+  auto fx = overlay::build_graph_fixture(sim, result->graph, gopts, sim::Rng{33});
+  fx.overlay->settle(3_s);
+  auto& src = fx.overlay->node(0).connect(1);
+  auto& dst = fx.overlay->node(9).connect(2);
+  int got = 0;
+  dst.set_handler([&](const overlay::Message&, sim::Duration) { ++got; });
+  for (int i = 0; i < 5; ++i) {
+    src.send(overlay::Destination::unicast(9, 2), overlay::make_payload(100),
+             overlay::ServiceSpec{});
+  }
+  sim.run_for(sim::Duration::seconds(1));
+  EXPECT_EQ(got, 5);
+}
+
+}  // namespace
+}  // namespace son::topo

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "topo/backbones.hpp"
+#include "topo/dissemination.hpp"
+#include "topo/geo.hpp"
+
+namespace son::topo {
+namespace {
+
+using namespace son::sim::literals;
+
+TEST(Geo, KnownDistances) {
+  const City nyc{"NYC", 40.71, -74.01};
+  const City lax{"LAX", 34.05, -118.24};
+  // NYC-LA great circle is ~3940 km.
+  EXPECT_NEAR(great_circle_km(nyc, lax), 3940, 60);
+  EXPECT_NEAR(great_circle_km(nyc, nyc), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(great_circle_km(nyc, lax), great_circle_km(lax, nyc));
+}
+
+TEST(Geo, FiberLatencyScalesWithInflation) {
+  const City a{"A", 0, 0};
+  const City b{"B", 0, 10};  // ~1113 km on the equator
+  const auto lat1 = fiber_latency(a, b, 1.0);
+  const auto lat13 = fiber_latency(a, b, 1.3);
+  EXPECT_NEAR(lat1.to_millis_f(), 1113.0 / 204.0, 0.1);
+  EXPECT_NEAR(lat13.to_millis_f() / lat1.to_millis_f(), 1.3, 0.01);
+}
+
+TEST(Geo, ContinentCrossingIsPaperScale) {
+  // The paper: "the propagation delay to cross a continent is on the order
+  // of 35-40ms" (one way).
+  const City nyc{"NYC", 40.71, -74.01};
+  const City sfo{"SFO", 37.77, -122.42};
+  const double ms = fiber_latency(nyc, sfo).to_millis_f();
+  EXPECT_GT(ms, 20.0);
+  EXPECT_LT(ms, 40.0);
+}
+
+TEST(ContinentalUs, ShortOverlayLinks) {
+  // §II-A: "placing overlay nodes about 10ms apart on the Internet provides
+  // the desired performance and resilience qualities."
+  const BackboneMap m = continental_us();
+  EXPECT_EQ(m.cities.size(), 12u);
+  for (const auto& [u, v] : m.edges) {
+    const double ms = fiber_latency(m.cities[u], m.cities[v]).to_millis_f();
+    EXPECT_LT(ms, 12.0) << m.cities[u].name << "-" << m.cities[v].name;
+    EXPECT_GT(ms, 0.5);
+  }
+}
+
+TEST(ContinentalUs, GraphIsBiconnectedEnough) {
+  // Every node should have degree >= 2 (no single-link cut at any site) and
+  // every pair should admit 2 node-disjoint paths.
+  const Graph g = overlay_graph(continental_us());
+  for (NodeIndex n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_GE(g.neighbors(n).size(), 2u) << "node " << n;
+  }
+  for (NodeIndex a = 0; a < g.num_nodes(); ++a) {
+    for (NodeIndex b = static_cast<NodeIndex>(a + 1); b < g.num_nodes(); ++b) {
+      EXPECT_GE(k_node_disjoint_paths(g, a, b, 2).size(), 2u)
+          << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST(GlobalSites, Connected) {
+  const Graph g = overlay_graph(global_sites());
+  for (NodeIndex b = 1; b < g.num_nodes(); ++b) {
+    EXPECT_TRUE(shortest_path(g, 0, b).has_value());
+  }
+}
+
+TEST(BuildDualIsp, CreatesSymmetricBackbones) {
+  sim::Simulator sim;
+  net::Internet inet{sim, sim::Rng{1}};
+  const BackboneMap m = continental_us();
+  DualIspOptions opts;
+  const BuiltUnderlay u = build_dual_isp(inet, m, opts);
+  EXPECT_EQ(u.hosts.size(), 12u);
+  EXPECT_EQ(inet.num_routers(), 24u);
+  EXPECT_EQ(inet.num_links(), 2 * m.edges.size());
+  for (const auto h : u.hosts) EXPECT_EQ(inet.attachments(h), 2u);
+}
+
+TEST(BuildDualIsp, SkippedEdgesAreAbsent) {
+  sim::Simulator sim;
+  net::Internet inet{sim, sim::Rng{2}};
+  const BackboneMap m = continental_us();
+  DualIspOptions opts;
+  opts.skip_in_isp_a = {0, 1};
+  opts.skip_in_isp_b = {2};
+  const BuiltUnderlay u = build_dual_isp(inet, m, opts);
+  EXPECT_EQ(u.links_a[0], net::kInvalidLink);
+  EXPECT_EQ(u.links_a[1], net::kInvalidLink);
+  EXPECT_NE(u.links_a[2], net::kInvalidLink);
+  EXPECT_EQ(u.links_b[2], net::kInvalidLink);
+  EXPECT_EQ(inet.num_links(), 2 * m.edges.size() - 3);
+}
+
+TEST(BuildDualIsp, HostsReachEachOtherOnEitherIsp) {
+  sim::Simulator sim;
+  net::Internet inet{sim, sim::Rng{3}};
+  const BackboneMap m = continental_us();
+  const BuiltUnderlay u = build_dual_isp(inet, m, DualIspOptions{});
+  // NYC (0) to SEA (11), pinned to each ISP.
+  const auto via_a = inet.path_latency(u.hosts[0], 0, u.hosts[11], 0);
+  const auto via_b = inet.path_latency(u.hosts[0], 1, u.hosts[11], 1);
+  ASSERT_TRUE(via_a.has_value());
+  ASSERT_TRUE(via_b.has_value());
+  EXPECT_NEAR(via_a->to_millis_f(), via_b->to_millis_f(), 0.5);
+  // Cross-ISP with no peering: unreachable.
+  EXPECT_FALSE(inet.path_latency(u.hosts[0], 0, u.hosts[11], 1).has_value());
+}
+
+TEST(BuildDualIsp, PeeringEnablesCrossIspPaths) {
+  sim::Simulator sim;
+  net::Internet inet{sim, sim::Rng{4}};
+  const BackboneMap m = continental_us();
+  DualIspOptions opts;
+  opts.peering_cities = {0, 4};  // NYC, CHI
+  const BuiltUnderlay u = build_dual_isp(inet, m, opts);
+  EXPECT_TRUE(inet.path_latency(u.hosts[0], 0, u.hosts[11], 1).has_value());
+}
+
+TEST(Dissemination, KDisjointEdgesCoverKPaths) {
+  const Graph g = overlay_graph(continental_us());
+  const auto edges = k_disjoint_edges(g, 0, 9, 2);  // NYC -> LAX
+  std::vector<bool> none(g.num_nodes(), false);
+  EXPECT_TRUE(reachable_in_subgraph(g, edges, 0, 9, none));
+  // Killing any single interior node leaves the pair connected.
+  for (NodeIndex n = 1; n < g.num_nodes(); ++n) {
+    if (n == 9) continue;
+    std::vector<bool> down(g.num_nodes(), false);
+    down[n] = true;
+    EXPECT_TRUE(reachable_in_subgraph(g, edges, 0, 9, down)) << "node " << n;
+  }
+}
+
+TEST(Dissemination, AllEdgesIsWholeGraph) {
+  const Graph g = overlay_graph(continental_us());
+  EXPECT_EQ(all_edges(g).size(), g.num_edges());
+}
+
+TEST(Dissemination, GraphAddsTargetedFanIn) {
+  // NYC (0) -> DEN (7): Denver has degree 5, so there is room to add
+  // last-hop diversity beyond the two disjoint paths.
+  const Graph g = overlay_graph(continental_us());
+  DissemOptions opts;
+  opts.dst_fanin = 2;
+  const auto base = k_disjoint_edges(g, 0, 7, 2);
+  const auto dg = dissemination_graph(g, 0, 7, opts);
+  EXPECT_GT(dg.size(), base.size());
+  EXPECT_LT(dg.size(), g.num_edges());  // far cheaper than flooding
+  // Destination has more incident edges in the dissemination graph.
+  const auto incident = [&](const EdgeSet& es) {
+    std::size_t c = 0;
+    for (const auto e : es) {
+      if (g.edge(e).u == 7 || g.edge(e).v == 7) ++c;
+    }
+    return c;
+  };
+  EXPECT_GT(incident(dg), incident(base));
+  std::vector<bool> none(g.num_nodes(), false);
+  EXPECT_TRUE(reachable_in_subgraph(g, dg, 0, 7, none));
+}
+
+TEST(Dissemination, SrcFanoutToo) {
+  // DEN (7) -> MIA (3): fan out around the (well-connected) source.
+  const Graph g = overlay_graph(continental_us());
+  DissemOptions opts;
+  opts.dst_fanin = 0;
+  opts.src_fanout = 2;
+  const auto dg = dissemination_graph(g, 7, 3, opts);
+  const auto base = k_disjoint_edges(g, 7, 3, 2);
+  std::size_t src_edges_base = 0, src_edges_dg = 0;
+  for (const auto e : base) {
+    if (g.edge(e).u == 7 || g.edge(e).v == 7) ++src_edges_base;
+  }
+  for (const auto e : dg) {
+    if (g.edge(e).u == 7 || g.edge(e).v == 7) ++src_edges_dg;
+  }
+  EXPECT_GT(src_edges_dg, src_edges_base);
+}
+
+TEST(Dissemination, Degree2EndpointsDegradeGracefully) {
+  // NYC (0) and LAX (9) both have degree 2: the two disjoint paths already
+  // use every adjacent edge, so the dissemination graph equals them.
+  const Graph g = overlay_graph(continental_us());
+  DissemOptions opts;
+  opts.dst_fanin = 3;
+  opts.src_fanout = 3;
+  EXPECT_EQ(dissemination_graph(g, 0, 9, opts), k_disjoint_edges(g, 0, 9, 2));
+}
+
+}  // namespace
+}  // namespace son::topo
