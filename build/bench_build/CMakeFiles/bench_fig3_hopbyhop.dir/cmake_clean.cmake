@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_hopbyhop"
+  "../bench/bench_fig3_hopbyhop.pdb"
+  "CMakeFiles/bench_fig3_hopbyhop.dir/bench_fig3_hopbyhop.cpp.o"
+  "CMakeFiles/bench_fig3_hopbyhop.dir/bench_fig3_hopbyhop.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_hopbyhop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_nmstrikes"
+  "../bench/bench_fig4_nmstrikes.pdb"
+  "CMakeFiles/bench_fig4_nmstrikes.dir/bench_fig4_nmstrikes.cpp.o"
+  "CMakeFiles/bench_fig4_nmstrikes.dir/bench_fig4_nmstrikes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_nmstrikes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

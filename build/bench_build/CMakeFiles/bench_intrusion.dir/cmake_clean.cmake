@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_intrusion"
+  "../bench/bench_intrusion.pdb"
+  "CMakeFiles/bench_intrusion.dir/bench_intrusion.cpp.o"
+  "CMakeFiles/bench_intrusion.dir/bench_intrusion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intrusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

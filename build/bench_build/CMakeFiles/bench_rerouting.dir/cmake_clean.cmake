@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rerouting"
+  "../bench/bench_rerouting.pdb"
+  "CMakeFiles/bench_rerouting.dir/bench_rerouting.cpp.o"
+  "CMakeFiles/bench_rerouting.dir/bench_rerouting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rerouting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_monitoring.dir/cloud_monitoring.cpp.o"
+  "CMakeFiles/cloud_monitoring.dir/cloud_monitoring.cpp.o.d"
+  "cloud_monitoring"
+  "cloud_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

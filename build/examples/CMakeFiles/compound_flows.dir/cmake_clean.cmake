@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compound_flows.dir/compound_flows.cpp.o"
+  "CMakeFiles/compound_flows.dir/compound_flows.cpp.o.d"
+  "compound_flows"
+  "compound_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compound_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrusion_tolerant.dir/intrusion_tolerant.cpp.o"
+  "CMakeFiles/intrusion_tolerant.dir/intrusion_tolerant.cpp.o.d"
+  "intrusion_tolerant"
+  "intrusion_tolerant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrusion_tolerant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_tv.dir/live_tv.cpp.o"
+  "CMakeFiles/live_tv.dir/live_tv.cpp.o.d"
+  "live_tv"
+  "live_tv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_tv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

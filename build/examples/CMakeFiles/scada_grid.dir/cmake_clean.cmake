@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scada_grid.dir/scada_grid.cpp.o"
+  "CMakeFiles/scada_grid.dir/scada_grid.cpp.o.d"
+  "scada_grid"
+  "scada_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scada_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

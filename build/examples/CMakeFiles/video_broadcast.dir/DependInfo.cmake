@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/video_broadcast.cpp" "examples/CMakeFiles/video_broadcast.dir/video_broadcast.cpp.o" "gcc" "examples/CMakeFiles/video_broadcast.dir/video_broadcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/son_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/son_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/son_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/son_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/son_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/son_client.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/son_client.dir/socket.cpp.o"
+  "CMakeFiles/son_client.dir/socket.cpp.o.d"
+  "CMakeFiles/son_client.dir/traffic.cpp.o"
+  "CMakeFiles/son_client.dir/traffic.cpp.o.d"
+  "CMakeFiles/son_client.dir/tunnel.cpp.o"
+  "CMakeFiles/son_client.dir/tunnel.cpp.o.d"
+  "libson_client.a"
+  "libson_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/son_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/son_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/son_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/son_crypto.dir/keys.cpp.o"
+  "CMakeFiles/son_crypto.dir/keys.cpp.o.d"
+  "CMakeFiles/son_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/son_crypto.dir/sha256.cpp.o.d"
+  "libson_crypto.a"
+  "libson_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/son_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

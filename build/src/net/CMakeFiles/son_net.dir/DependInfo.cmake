@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cross_traffic.cpp" "src/net/CMakeFiles/son_net.dir/cross_traffic.cpp.o" "gcc" "src/net/CMakeFiles/son_net.dir/cross_traffic.cpp.o.d"
+  "/root/repo/src/net/failures.cpp" "src/net/CMakeFiles/son_net.dir/failures.cpp.o" "gcc" "src/net/CMakeFiles/son_net.dir/failures.cpp.o.d"
+  "/root/repo/src/net/internet.cpp" "src/net/CMakeFiles/son_net.dir/internet.cpp.o" "gcc" "src/net/CMakeFiles/son_net.dir/internet.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/net/CMakeFiles/son_net.dir/link.cpp.o" "gcc" "src/net/CMakeFiles/son_net.dir/link.cpp.o.d"
+  "/root/repo/src/net/loss_model.cpp" "src/net/CMakeFiles/son_net.dir/loss_model.cpp.o" "gcc" "src/net/CMakeFiles/son_net.dir/loss_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/son_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

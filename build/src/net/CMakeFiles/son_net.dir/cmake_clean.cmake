@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/son_net.dir/cross_traffic.cpp.o"
+  "CMakeFiles/son_net.dir/cross_traffic.cpp.o.d"
+  "CMakeFiles/son_net.dir/failures.cpp.o"
+  "CMakeFiles/son_net.dir/failures.cpp.o.d"
+  "CMakeFiles/son_net.dir/internet.cpp.o"
+  "CMakeFiles/son_net.dir/internet.cpp.o.d"
+  "CMakeFiles/son_net.dir/link.cpp.o"
+  "CMakeFiles/son_net.dir/link.cpp.o.d"
+  "CMakeFiles/son_net.dir/loss_model.cpp.o"
+  "CMakeFiles/son_net.dir/loss_model.cpp.o.d"
+  "libson_net.a"
+  "libson_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/son_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

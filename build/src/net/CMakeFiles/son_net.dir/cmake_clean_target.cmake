@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libson_net.a"
+)

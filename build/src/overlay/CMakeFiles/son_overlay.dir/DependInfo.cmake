@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/overlay/fec.cpp" "src/overlay/CMakeFiles/son_overlay.dir/fec.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/fec.cpp.o.d"
+  "/root/repo/src/overlay/group_state.cpp" "src/overlay/CMakeFiles/son_overlay.dir/group_state.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/group_state.cpp.o.d"
+  "/root/repo/src/overlay/it_fair.cpp" "src/overlay/CMakeFiles/son_overlay.dir/it_fair.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/it_fair.cpp.o.d"
+  "/root/repo/src/overlay/link_protocols.cpp" "src/overlay/CMakeFiles/son_overlay.dir/link_protocols.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/link_protocols.cpp.o.d"
+  "/root/repo/src/overlay/link_state.cpp" "src/overlay/CMakeFiles/son_overlay.dir/link_state.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/link_state.cpp.o.d"
+  "/root/repo/src/overlay/message.cpp" "src/overlay/CMakeFiles/son_overlay.dir/message.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/message.cpp.o.d"
+  "/root/repo/src/overlay/network.cpp" "src/overlay/CMakeFiles/son_overlay.dir/network.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/network.cpp.o.d"
+  "/root/repo/src/overlay/node.cpp" "src/overlay/CMakeFiles/son_overlay.dir/node.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/node.cpp.o.d"
+  "/root/repo/src/overlay/realtime.cpp" "src/overlay/CMakeFiles/son_overlay.dir/realtime.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/realtime.cpp.o.d"
+  "/root/repo/src/overlay/reliable_link.cpp" "src/overlay/CMakeFiles/son_overlay.dir/reliable_link.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/reliable_link.cpp.o.d"
+  "/root/repo/src/overlay/reorder_buffer.cpp" "src/overlay/CMakeFiles/son_overlay.dir/reorder_buffer.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/reorder_buffer.cpp.o.d"
+  "/root/repo/src/overlay/routing.cpp" "src/overlay/CMakeFiles/son_overlay.dir/routing.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/routing.cpp.o.d"
+  "/root/repo/src/overlay/transform.cpp" "src/overlay/CMakeFiles/son_overlay.dir/transform.cpp.o" "gcc" "src/overlay/CMakeFiles/son_overlay.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/son_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/son_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/son_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/son_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/son_overlay.dir/fec.cpp.o"
+  "CMakeFiles/son_overlay.dir/fec.cpp.o.d"
+  "CMakeFiles/son_overlay.dir/group_state.cpp.o"
+  "CMakeFiles/son_overlay.dir/group_state.cpp.o.d"
+  "CMakeFiles/son_overlay.dir/it_fair.cpp.o"
+  "CMakeFiles/son_overlay.dir/it_fair.cpp.o.d"
+  "CMakeFiles/son_overlay.dir/link_protocols.cpp.o"
+  "CMakeFiles/son_overlay.dir/link_protocols.cpp.o.d"
+  "CMakeFiles/son_overlay.dir/link_state.cpp.o"
+  "CMakeFiles/son_overlay.dir/link_state.cpp.o.d"
+  "CMakeFiles/son_overlay.dir/message.cpp.o"
+  "CMakeFiles/son_overlay.dir/message.cpp.o.d"
+  "CMakeFiles/son_overlay.dir/network.cpp.o"
+  "CMakeFiles/son_overlay.dir/network.cpp.o.d"
+  "CMakeFiles/son_overlay.dir/node.cpp.o"
+  "CMakeFiles/son_overlay.dir/node.cpp.o.d"
+  "CMakeFiles/son_overlay.dir/realtime.cpp.o"
+  "CMakeFiles/son_overlay.dir/realtime.cpp.o.d"
+  "CMakeFiles/son_overlay.dir/reliable_link.cpp.o"
+  "CMakeFiles/son_overlay.dir/reliable_link.cpp.o.d"
+  "CMakeFiles/son_overlay.dir/reorder_buffer.cpp.o"
+  "CMakeFiles/son_overlay.dir/reorder_buffer.cpp.o.d"
+  "CMakeFiles/son_overlay.dir/routing.cpp.o"
+  "CMakeFiles/son_overlay.dir/routing.cpp.o.d"
+  "CMakeFiles/son_overlay.dir/transform.cpp.o"
+  "CMakeFiles/son_overlay.dir/transform.cpp.o.d"
+  "libson_overlay.a"
+  "libson_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/son_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

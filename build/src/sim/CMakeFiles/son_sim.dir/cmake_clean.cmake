@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/son_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/son_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/son_sim.dir/simulator.cpp.o"
+  "CMakeFiles/son_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/son_sim.dir/stats.cpp.o"
+  "CMakeFiles/son_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/son_sim.dir/time.cpp.o"
+  "CMakeFiles/son_sim.dir/time.cpp.o.d"
+  "CMakeFiles/son_sim.dir/trace.cpp.o"
+  "CMakeFiles/son_sim.dir/trace.cpp.o.d"
+  "libson_sim.a"
+  "libson_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/son_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

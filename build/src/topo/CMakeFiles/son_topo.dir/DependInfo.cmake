@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/backbones.cpp" "src/topo/CMakeFiles/son_topo.dir/backbones.cpp.o" "gcc" "src/topo/CMakeFiles/son_topo.dir/backbones.cpp.o.d"
+  "/root/repo/src/topo/designer.cpp" "src/topo/CMakeFiles/son_topo.dir/designer.cpp.o" "gcc" "src/topo/CMakeFiles/son_topo.dir/designer.cpp.o.d"
+  "/root/repo/src/topo/dissemination.cpp" "src/topo/CMakeFiles/son_topo.dir/dissemination.cpp.o" "gcc" "src/topo/CMakeFiles/son_topo.dir/dissemination.cpp.o.d"
+  "/root/repo/src/topo/geo.cpp" "src/topo/CMakeFiles/son_topo.dir/geo.cpp.o" "gcc" "src/topo/CMakeFiles/son_topo.dir/geo.cpp.o.d"
+  "/root/repo/src/topo/graph.cpp" "src/topo/CMakeFiles/son_topo.dir/graph.cpp.o" "gcc" "src/topo/CMakeFiles/son_topo.dir/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/son_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/son_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

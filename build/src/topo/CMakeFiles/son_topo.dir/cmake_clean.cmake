@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/son_topo.dir/backbones.cpp.o"
+  "CMakeFiles/son_topo.dir/backbones.cpp.o.d"
+  "CMakeFiles/son_topo.dir/designer.cpp.o"
+  "CMakeFiles/son_topo.dir/designer.cpp.o.d"
+  "CMakeFiles/son_topo.dir/dissemination.cpp.o"
+  "CMakeFiles/son_topo.dir/dissemination.cpp.o.d"
+  "CMakeFiles/son_topo.dir/geo.cpp.o"
+  "CMakeFiles/son_topo.dir/geo.cpp.o.d"
+  "CMakeFiles/son_topo.dir/graph.cpp.o"
+  "CMakeFiles/son_topo.dir/graph.cpp.o.d"
+  "libson_topo.a"
+  "libson_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/son_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

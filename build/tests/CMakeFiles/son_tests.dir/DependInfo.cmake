@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_client_tunnel.cpp" "tests/CMakeFiles/son_tests.dir/test_client_tunnel.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_client_tunnel.cpp.o.d"
+  "/root/repo/tests/test_congestion_reroute.cpp" "tests/CMakeFiles/son_tests.dir/test_congestion_reroute.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_congestion_reroute.cpp.o.d"
+  "/root/repo/tests/test_crypto.cpp" "tests/CMakeFiles/son_tests.dir/test_crypto.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_net_edge.cpp" "tests/CMakeFiles/son_tests.dir/test_net_edge.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_net_edge.cpp.o.d"
+  "/root/repo/tests/test_net_internet.cpp" "tests/CMakeFiles/son_tests.dir/test_net_internet.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_net_internet.cpp.o.d"
+  "/root/repo/tests/test_net_link.cpp" "tests/CMakeFiles/son_tests.dir/test_net_link.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_net_link.cpp.o.d"
+  "/root/repo/tests/test_net_loss.cpp" "tests/CMakeFiles/son_tests.dir/test_net_loss.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_net_loss.cpp.o.d"
+  "/root/repo/tests/test_overlay_components.cpp" "tests/CMakeFiles/son_tests.dir/test_overlay_components.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_overlay_components.cpp.o.d"
+  "/root/repo/tests/test_overlay_dynamics.cpp" "tests/CMakeFiles/son_tests.dir/test_overlay_dynamics.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_overlay_dynamics.cpp.o.d"
+  "/root/repo/tests/test_overlay_features.cpp" "tests/CMakeFiles/son_tests.dir/test_overlay_features.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_overlay_features.cpp.o.d"
+  "/root/repo/tests/test_overlay_fec.cpp" "tests/CMakeFiles/son_tests.dir/test_overlay_fec.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_overlay_fec.cpp.o.d"
+  "/root/repo/tests/test_overlay_flowstats.cpp" "tests/CMakeFiles/son_tests.dir/test_overlay_flowstats.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_overlay_flowstats.cpp.o.d"
+  "/root/repo/tests/test_overlay_node.cpp" "tests/CMakeFiles/son_tests.dir/test_overlay_node.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_overlay_node.cpp.o.d"
+  "/root/repo/tests/test_overlay_protocols.cpp" "tests/CMakeFiles/son_tests.dir/test_overlay_protocols.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_overlay_protocols.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/son_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_protocol_edge.cpp" "tests/CMakeFiles/son_tests.dir/test_protocol_edge.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_protocol_edge.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/son_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_sim_event_queue.cpp" "tests/CMakeFiles/son_tests.dir/test_sim_event_queue.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_sim_event_queue.cpp.o.d"
+  "/root/repo/tests/test_sim_fuzz.cpp" "tests/CMakeFiles/son_tests.dir/test_sim_fuzz.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_sim_fuzz.cpp.o.d"
+  "/root/repo/tests/test_sim_random.cpp" "tests/CMakeFiles/son_tests.dir/test_sim_random.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_sim_random.cpp.o.d"
+  "/root/repo/tests/test_sim_simulator.cpp" "tests/CMakeFiles/son_tests.dir/test_sim_simulator.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_sim_simulator.cpp.o.d"
+  "/root/repo/tests/test_sim_stats.cpp" "tests/CMakeFiles/son_tests.dir/test_sim_stats.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_sim_stats.cpp.o.d"
+  "/root/repo/tests/test_sim_time.cpp" "tests/CMakeFiles/son_tests.dir/test_sim_time.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_sim_time.cpp.o.d"
+  "/root/repo/tests/test_topo_designer.cpp" "tests/CMakeFiles/son_tests.dir/test_topo_designer.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_topo_designer.cpp.o.d"
+  "/root/repo/tests/test_topo_geo_backbones.cpp" "tests/CMakeFiles/son_tests.dir/test_topo_geo_backbones.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_topo_geo_backbones.cpp.o.d"
+  "/root/repo/tests/test_topo_graph.cpp" "tests/CMakeFiles/son_tests.dir/test_topo_graph.cpp.o" "gcc" "tests/CMakeFiles/son_tests.dir/test_topo_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/son_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/son_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/son_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/son_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/overlay/CMakeFiles/son_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/son_client.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
