@@ -1,0 +1,58 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace son::bench {
+
+void heading(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================================\n");
+}
+
+void note(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::printf("  ");
+  std::vprintf(fmt, args);
+  std::printf("\n");
+  va_end(args);
+}
+
+void Table::print_header() const {
+  for (const auto& c : columns_) std::printf("%*s", width_, c.c_str());
+  std::printf("\n");
+  for (const auto& c : columns_) {
+    const auto dashes = std::min(c.size(), static_cast<std::size_t>(width_ > 1 ? width_ - 1 : 1));
+    std::printf("%*s", width_, std::string(dashes, '-').c_str());
+  }
+  std::printf("\n");
+}
+
+void Table::cell(const std::string& s) const { std::printf("%*s", width_, s.c_str()); }
+
+void Table::cell(double v, const char* fmt) const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  cell(std::string{buf});
+}
+
+void Table::cell(std::uint64_t v) const { cell(std::to_string(v)); }
+
+void Table::end_row() const { std::printf("\n"); }
+
+bool write_report(const exp::Report& report, const exp::Options& opts) {
+  std::printf("\n  [%zu trials, %.2f s wall clock, %u jobs]\n", report.total_trials(),
+              report.wall_clock_s(), report.jobs());
+  if (!opts.write_json) return true;
+  const std::string path = opts.json_path();
+  if (report.write(path)) {
+    std::printf("  [report: %s]\n", path.c_str());
+    return true;
+  }
+  std::fprintf(stderr, "failed to write report to %s\n", path.c_str());
+  return false;
+}
+
+}  // namespace son::bench

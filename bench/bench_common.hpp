@@ -1,28 +1,21 @@
 // Shared helpers for the benchmark harnesses that regenerate the paper's
 // figures and quantitative claims (see DESIGN.md §5 and EXPERIMENTS.md).
+//
+// The heavy lifting (trial fan-out, aggregation, JSON reports) lives in
+// son::exp; this header keeps only the human-facing printing utilities.
 #pragma once
 
 #include <cstdarg>
-#include <cstdio>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "exp/experiment.hpp"
+
 namespace son::bench {
 
-inline void heading(const std::string& id, const std::string& title) {
-  std::printf("\n================================================================================\n");
-  std::printf("%s — %s\n", id.c_str(), title.c_str());
-  std::printf("================================================================================\n");
-}
-
-inline void note(const char* fmt, ...) {
-  std::va_list args;
-  va_start(args, fmt);
-  std::printf("  ");
-  std::vprintf(fmt, args);
-  std::printf("\n");
-  va_end(args);
-}
+void heading(const std::string& id, const std::string& title);
+void note(const char* fmt, ...);
 
 /// Fixed-width table printer.
 class Table {
@@ -30,27 +23,22 @@ class Table {
   explicit Table(std::vector<std::string> columns, int width = 14)
       : columns_{std::move(columns)}, width_{width} {}
 
-  void print_header() const {
-    for (const auto& c : columns_) std::printf("%*s", width_, c.c_str());
-    std::printf("\n");
-    for (std::size_t i = 0; i < columns_.size(); ++i) {
-      for (int j = 0; j < width_; ++j) std::printf("-");
-    }
-    std::printf("\n");
-  }
+  /// Prints the column titles and a per-column underline (one dash run under
+  /// each title, not one unbroken line across the table).
+  void print_header() const;
 
-  void cell(const std::string& s) const { std::printf("%*s", width_, s.c_str()); }
-  void cell(double v, const char* fmt = "%.2f") const {
-    char buf[64];
-    std::snprintf(buf, sizeof buf, fmt, v);
-    cell(std::string{buf});
-  }
-  void cell(std::uint64_t v) const { cell(std::to_string(v)); }
-  void end_row() const { std::printf("\n"); }
+  void cell(const std::string& s) const;
+  void cell(double v, const char* fmt = "%.2f") const;
+  void cell(std::uint64_t v) const;
+  void end_row() const;
 
  private:
   std::vector<std::string> columns_;
   int width_;
 };
+
+/// Standard footer for every bench: writes BENCH_<name>.json (unless
+/// --no-json) and prints where it went plus trial count / wall clock / jobs.
+bool write_report(const exp::Report& report, const exp::Options& opts);
 
 }  // namespace son::bench

@@ -31,13 +31,8 @@ using overlay::RouteScheme;
 using sim::Duration;
 using sim::TimePoint;
 
-struct Result {
-  double within_65ms = 0.0;
-  double delivered = 0.0;
-  double copies = 0.0;  // overlay transmissions per message
-};
-
-Result run(RouteScheme scheme, std::uint8_t k, std::uint8_t fanin, std::uint64_t seed) {
+exp::Metrics run(RouteScheme scheme, std::uint8_t k, std::uint8_t fanin,
+                 Duration traffic_time, std::uint64_t seed) {
   sim::Simulator sim;
   overlay::GraphOptions gopts;
   auto fx = overlay::build_graph_fixture(sim, overlay::circulant_topology(12), gopts,
@@ -55,7 +50,8 @@ Result run(RouteScheme scheme, std::uint8_t k, std::uint8_t fanin, std::uint64_t
   std::vector<net::LinkId> dst_fibers;
   for (const auto& [nbr, e] : g.neighbors(kDst)) dst_fibers.push_back(fx.fiber[e]);
   const std::size_t nf = dst_fibers.size();
-  for (int burst = 0; burst < 80; ++burst) {
+  const int n_bursts = static_cast<int>((traffic_time + 2_s).to_seconds_f() / 0.8) + 1;
+  for (int burst = 0; burst < n_bursts; ++burst) {
     const auto from = TimePoint::zero() + 3_s + Duration::milliseconds(burst * 800);
     const auto until = from + 120_ms;
     const auto i = static_cast<std::size_t>(burst) % nf;
@@ -81,51 +77,69 @@ Result run(RouteScheme scheme, std::uint8_t k, std::uint8_t fanin, std::uint64_t
 
   client::CbrSender sender{sim, src,
                            {overlay::Destination::unicast(kDst, 50), spec, 1000, 400,
-                            sim.now(), sim.now() + 60_s}};
+                            sim.now(), sim.now() + traffic_time}};
   std::uint64_t fwd_before = 0;
   for (NodeId n = 0; n < net.size(); ++n) fwd_before += net.node(n).stats().forwarded;
-  sim.run_for(62_s);
+  sim.run_for(traffic_time + 2_s);
   std::uint64_t fwd_after = 0;
   for (NodeId n = 0; n < net.size(); ++n) fwd_after += net.node(n).stats().forwarded;
 
-  Result r;
-  r.delivered = sink.delivery_ratio(sender.sent());
-  r.within_65ms = sink.delivered_within(sender.sent(), 65_ms);
-  r.copies = static_cast<double>(fwd_after - fwd_before) / static_cast<double>(sender.sent());
-  return r;
+  exp::Metrics m;
+  m.scalar("delivered_frac", sink.delivery_ratio(sender.sent()));
+  m.scalar("within_65ms_frac", sink.delivered_within(sender.sent(), 65_ms));
+  m.scalar("copies_per_msg",
+           static_cast<double>(fwd_after - fwd_before) / static_cast<double>(sender.sent()));
+  return m;
 }
+
+struct S {
+  const char* label;
+  RouteScheme scheme;
+  std::uint8_t k;
+  std::uint8_t fanin;
+};
+
+const std::vector<S> kSchemes{
+    {"single path", RouteScheme::kDisjointPaths, 1, 0},
+    {"2 disjoint paths", RouteScheme::kDisjointPaths, 2, 0},
+    {"dissem graph (fanin 2)", RouteScheme::kDissemination, 2, 2},
+    {"constrained flooding", RouteScheme::kFlooding, 0, 0},
+};
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = exp::Options::parse(argc, argv, "dissemination", 1, 505);
+  const Duration traffic_time = opts.quick ? 12_s : 60_s;
+
   bench::heading("DISSEM",
                  "Dissemination graphs for 65 ms remote manipulation (§V-A, ref [2])");
   bench::note("12-node circulant overlay, 10 ms hops; node 0 -> node 6 (~40 ms path).");
   bench::note("Recurring 120 ms bursts of 80%% loss rotate across the destination's");
-  bench::note("incident fibers (destination-problem pattern). 1000 pkt/s for 60 s,");
+  bench::note("incident fibers (destination-problem pattern). 1000 pkt/s for %.0f s,",
+              traffic_time.to_seconds_f());
   bench::note("one-shot recovery (RealtimeSimple), deadline 65 ms one-way.");
+
+  exp::Experiment ex{opts};
+  for (const auto& s : kSchemes) {
+    exp::Json params = exp::Json::object();
+    params["scheme"] = s.label;
+    params["k"] = static_cast<std::uint64_t>(s.k);
+    params["dst_fanin"] = static_cast<std::uint64_t>(s.fanin);
+    ex.add_cell(s.label, std::move(params), [s, traffic_time](std::uint64_t seed) {
+      return run(s.scheme, s.k, s.fanin, traffic_time, seed);
+    });
+  }
+  const exp::Report report = ex.run();
 
   bench::Table t{{"scheme", "in<=65ms", "delivered", "copies/msg"}, 22};
   t.print_header();
-
-  struct S {
-    const char* label;
-    RouteScheme scheme;
-    std::uint8_t k;
-    std::uint8_t fanin;
-  };
-  const std::vector<S> schemes{
-      {"single path", RouteScheme::kDisjointPaths, 1, 0},
-      {"2 disjoint paths", RouteScheme::kDisjointPaths, 2, 0},
-      {"dissem graph (fanin 2)", RouteScheme::kDissemination, 2, 2},
-      {"constrained flooding", RouteScheme::kFlooding, 0, 0},
-  };
-  for (const auto& s : schemes) {
-    const Result r = run(s.scheme, s.k, s.fanin, 505);
+  for (const auto& s : kSchemes) {
+    const auto& c = report.cell(s.label);
     t.cell(std::string{s.label});
-    t.cell(100.0 * r.within_65ms, "%.3f%%");
-    t.cell(100.0 * r.delivered, "%.3f%%");
-    t.cell(r.copies, "%.1f");
+    t.cell(100.0 * c.scalar_mean("within_65ms_frac"), "%.3f%%");
+    t.cell(100.0 * c.scalar_mean("delivered_frac"), "%.3f%%");
+    t.cell(c.scalar_mean("copies_per_msg"), "%.1f");
     t.end_row();
   }
   bench::note("");
@@ -134,5 +148,6 @@ int main() {
   bench::note("shared last-hop region; the destination-problem dissemination graph");
   bench::note("adds targeted fan-in at the destination and approaches flooding's");
   bench::note("timeliness at a fraction of flooding's cost.");
-  return 0;
+
+  return bench::write_report(report, opts) ? 0 : 1;
 }

@@ -11,8 +11,8 @@
 //   * "The overall cost of the NM-Strikes protocol is 1 + Mp."
 //
 // Setup: a 40 ms continental path as 4 overlay hops of 10 ms, with bursty
-// (Gilbert-Elliott) loss on every fiber hop. 1000 pkt/s of live video for
-// 30 s. Deadline: 200 ms one way.
+// (Gilbert-Elliott) loss on every fiber hop. Live video at 1000 pkt/s.
+// Deadline: 200 ms one way.
 #include "bench_common.hpp"
 #include "client/traffic.hpp"
 #include "overlay/network.hpp"
@@ -33,14 +33,8 @@ struct Config {
   bool spread = true;
 };
 
-struct Result {
-  double within_deadline = 0.0;  // fraction of SENT packets inside 200 ms
-  double delivered = 0.0;
-  double cost = 1.0;  // data frames put on wire per message (1 + Mp claim)
-  double p999_ms = 0.0;
-};
-
-Result run(const Config& cfg, double mean_bad_ms, std::uint64_t seed) {
+exp::Metrics run(const Config& cfg, double mean_bad_ms, Duration traffic_time,
+                 std::uint64_t seed) {
   sim::Simulator sim;
   overlay::ChainOptions copts;
   copts.n_nodes = 5;  // 4 hops x 10 ms = 40 ms continent
@@ -78,8 +72,8 @@ Result run(const Config& cfg, double mean_bad_ms, std::uint64_t seed) {
 
   client::CbrSender sender{sim, src,
                            {overlay::Destination::unicast(4, 200), spec, 1000, 1200,
-                            sim.now(), sim.now() + 30_s}};
-  sim.run_for(35_s);
+                            sim.now(), sim.now() + traffic_time}};
+  sim.run_for(traffic_time + 5_s);
 
   // Cost: data+retransmission frames per hop, averaged over hops, per
   // message (the paper's sender->receiver side cost).
@@ -96,23 +90,34 @@ Result run(const Config& cfg, double mean_bad_ms, std::uint64_t seed) {
     }
   }
 
-  Result r;
-  r.delivered = sink.delivery_ratio(sender.sent());
-  r.within_deadline = sink.delivered_within(sender.sent(), 200_ms);
-  r.p999_ms = sink.latencies_ms().quantile(0.999);
-  if (hops > 0 && sender.sent() > 0) {
-    r.cost = data_frames / static_cast<double>(hops) / static_cast<double>(sender.sent());
-  }
-  return r;
+  exp::Metrics m;
+  m.scalar("delivered_frac", sink.delivery_ratio(sender.sent()));
+  m.scalar("within_deadline_frac", sink.delivered_within(sender.sent(), 200_ms));
+  m.samples("latency_ms").merge(sink.latencies_ms());
+  m.scalar("cost", hops > 0 && sender.sent() > 0
+                       ? data_frames / static_cast<double>(hops) /
+                             static_cast<double>(sender.sent())
+                       : 1.0);
+  return m;
+}
+
+std::string cell_label(double bad_ms, const Config& cfg) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "bad=%.0fms/%s", bad_ms, cfg.label);
+  return buf;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = exp::Options::parse(argc, argv, "fig4_nmstrikes", 1, 42);
+  const Duration traffic_time = opts.quick ? 8_s : 30_s;
+
   bench::heading("FIG4", "NM-Strikes real-time recovery under bursty loss (Fig. 4, §IV-A)");
   bench::note("Topology: 40 ms continental path as 4 overlay hops of 10 ms.");
   bench::note("Loss: Gilbert-Elliott bursts (75%% loss while bad) on every fiber hop.");
-  bench::note("Flow: 1000 pkt/s live video, deadline 200 ms one-way (~160 ms to recover).");
+  bench::note("Flow: 1000 pkt/s live video for %.0f s, deadline 200 ms one-way.",
+              traffic_time.to_seconds_f());
 
   const std::vector<Config> configs{
       {"best-effort", LinkProtocol::kBestEffort, 0, 0, true},
@@ -121,20 +126,38 @@ int main() {
       {"NM(3,3)", LinkProtocol::kRealtimeNM, 3, 3, true},
       {"NM(3,3)-b2b", LinkProtocol::kRealtimeNM, 3, 3, false},  // ablation
   };
+  const std::vector<double> burst_ms{20.0, 60.0};
 
-  for (const double bad_ms : {20.0, 60.0}) {
+  exp::Experiment ex{opts};
+  for (const double bad_ms : burst_ms) {
+    for (const auto& cfg : configs) {
+      exp::Json params = exp::Json::object();
+      params["mean_bad_ms"] = bad_ms;
+      params["protocol"] = cfg.label;
+      params["n"] = static_cast<std::uint64_t>(cfg.n);
+      params["m"] = static_cast<std::uint64_t>(cfg.m);
+      params["spread"] = cfg.spread;
+      ex.add_cell(cell_label(bad_ms, cfg), std::move(params),
+                  [cfg, bad_ms, traffic_time](std::uint64_t seed) {
+                    return run(cfg, bad_ms, traffic_time, seed);
+                  });
+    }
+  }
+  const exp::Report report = ex.run();
+
+  for (const double bad_ms : burst_ms) {
+    const double avg_p = (2000.0 * 0.0005 + bad_ms * 0.75) / (2000.0 + bad_ms);
     std::printf("\n  Loss-burst duration: mean %.0f ms (avg loss %.2f%%)\n", bad_ms,
-                100.0 * (2000.0 * 0.0005 + bad_ms * 0.75) / (2000.0 + bad_ms));
+                100.0 * avg_p);
     bench::Table t{{"protocol", "in<=200ms", "delivered", "p99.9 ms", "cost", "1+Mp"}};
     t.print_header();
     for (const auto& cfg : configs) {
-      const Result r = run(cfg, bad_ms, 42);
-      const double avg_p = (2000.0 * 0.0005 + bad_ms * 0.75) / (2000.0 + bad_ms);
+      const auto& c = report.cell(cell_label(bad_ms, cfg));
       t.cell(std::string{cfg.label});
-      t.cell(100.0 * r.within_deadline, "%.3f%%");
-      t.cell(100.0 * r.delivered, "%.3f%%");
-      t.cell(r.p999_ms);
-      t.cell(r.cost, "%.4f");
+      t.cell(100.0 * c.scalar_mean("within_deadline_frac"), "%.3f%%");
+      t.cell(100.0 * c.scalar_mean("delivered_frac"), "%.3f%%");
+      t.cell(c.samples("latency_ms").quantile(0.999));
+      t.cell(c.scalar_mean("cost"), "%.4f");
       t.cell(cfg.proto == LinkProtocol::kRealtimeNM ? 1.0 + cfg.m * avg_p : 1.0 + avg_p,
              "%.4f");
       t.end_row();
@@ -146,5 +169,6 @@ int main() {
   bench::note("timely delivery to ~100%%; back-to-back (b2b) ablation shows spacing is");
   bench::note("what defeats correlated loss. Measured cost tracks 1 + Mp (requests only");
   bench::note("fire on actual gaps, so the effective M*p stays below the worst case).");
-  return 0;
+
+  return bench::write_report(report, opts) ? 0 : 1;
 }

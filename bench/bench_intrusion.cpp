@@ -7,7 +7,8 @@
 // exists between the source and destination."
 //   Sweep f = 0..4 random compromised (blackholing) interior nodes and
 //   measure delivery for link-state / 2-disjoint / 3-disjoint / flooding,
-//   plus the redundancy cost (copies forwarded per message).
+//   plus the redundancy cost (copies forwarded per message). Each
+//   replication is one random compromise placement (--reps placements).
 //
 // Part 2 (ITFAIR): "Both Priority and Reliable messaging use fair buffer
 // allocation and round-robin scheduling to ensure that a compromised source
@@ -32,97 +33,198 @@ using sim::Duration;
 
 // ---------- Part 1: redundant dissemination vs compromised nodes -----------
 
-struct SchemeResult {
-  double delivery = 0.0;   // averaged over trials
-  double worst = 1.0;      // worst trial
-  double copies = 0.0;     // forwarded copies per message (network cost)
+struct Scheme {
+  const char* label;
+  RouteScheme scheme;
+  std::uint8_t k;
 };
 
-SchemeResult run_disjoint_trials(RouteScheme scheme, std::uint8_t k, int f, int trials) {
-  SchemeResult out;
-  double total = 0.0;
-  double copies = 0.0;
-  for (int trial = 0; trial < trials; ++trial) {
-    sim::Simulator sim;
-    overlay::GraphOptions gopts;
-    auto fx = overlay::build_graph_fixture(
-        sim, overlay::circulant_topology(12), gopts,
-        sim::Rng{static_cast<std::uint64_t>(7000 + trial)});
-    auto& net = *fx.overlay;
-    net.settle(3_s);
+const std::vector<Scheme> kSchemes{
+    {"link-state (1 path)", RouteScheme::kLinkState, 1},
+    {"2 disjoint paths", RouteScheme::kDisjointPaths, 2},
+    {"3 disjoint paths", RouteScheme::kDisjointPaths, 3},
+    {"constrained flooding", RouteScheme::kFlooding, 0},
+};
 
-    constexpr NodeId kSrc = 0;
-    constexpr NodeId kDst = 6;  // diametrically opposite on the ring
-    // Choose f distinct compromised interior nodes.
-    sim::Rng pick{static_cast<std::uint64_t>(9000 + trial * 31 + f)};
-    std::vector<NodeId> interior;
-    for (NodeId n = 0; n < net.size(); ++n) {
-      if (n != kSrc && n != kDst) interior.push_back(n);
-    }
-    pick.shuffle(interior);
-    for (int i = 0; i < f; ++i) {
-      net.node(interior[static_cast<std::size_t>(i)])
-          .set_compromise(overlay::CompromiseBehavior::blackhole());
-    }
+/// One random compromise placement: delivery ratio + redundancy cost.
+exp::Metrics run_disjoint_trial(RouteScheme scheme, std::uint8_t k, int f,
+                                std::uint64_t seed) {
+  sim::Simulator sim;
+  overlay::GraphOptions gopts;
+  auto fx = overlay::build_graph_fixture(sim, overlay::circulant_topology(12), gopts,
+                                         sim::Rng{seed});
+  auto& net = *fx.overlay;
+  net.settle(3_s);
 
-    auto& src = net.node(kSrc).connect(49);
-    auto& dst = net.node(kDst).connect(50);
-    client::MeasuringSink sink{dst};
-    overlay::ServiceSpec spec;
-    spec.scheme = scheme;
-    spec.num_paths = k;
-    const int n_msgs = 50;
-    std::uint64_t fwd_before = 0;
-    for (NodeId n = 0; n < net.size(); ++n) fwd_before += net.node(n).stats().forwarded;
-    for (int i = 0; i < n_msgs; ++i) {
-      src.send(overlay::Destination::unicast(kDst, 50), overlay::make_payload(400), spec);
-    }
-    sim.run_for(2_s);
-    std::uint64_t fwd_after = 0;
-    for (NodeId n = 0; n < net.size(); ++n) fwd_after += net.node(n).stats().forwarded;
-
-    const double ratio = sink.delivery_ratio(n_msgs);
-    total += ratio;
-    out.worst = std::min(out.worst, ratio);
-    copies += static_cast<double>(fwd_after - fwd_before) / n_msgs;
+  constexpr NodeId kSrc = 0;
+  constexpr NodeId kDst = 6;  // diametrically opposite on the ring
+  // Choose f distinct compromised interior nodes.
+  sim::Rng pick{seed * 31 + 2000 + static_cast<std::uint64_t>(f)};
+  std::vector<NodeId> interior;
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (n != kSrc && n != kDst) interior.push_back(n);
   }
-  out.delivery = total / trials;
-  out.copies = copies / trials;
-  return out;
+  pick.shuffle(interior);
+  for (int i = 0; i < f; ++i) {
+    net.node(interior[static_cast<std::size_t>(i)])
+        .set_compromise(overlay::CompromiseBehavior::blackhole());
+  }
+
+  auto& src = net.node(kSrc).connect(49);
+  auto& dst = net.node(kDst).connect(50);
+  client::MeasuringSink sink{dst};
+  overlay::ServiceSpec spec;
+  spec.scheme = scheme;
+  spec.num_paths = k;
+  const int n_msgs = 50;
+  std::uint64_t fwd_before = 0;
+  for (NodeId n = 0; n < net.size(); ++n) fwd_before += net.node(n).stats().forwarded;
+  for (int i = 0; i < n_msgs; ++i) {
+    src.send(overlay::Destination::unicast(kDst, 50), overlay::make_payload(400), spec);
+  }
+  sim.run_for(2_s);
+  std::uint64_t fwd_after = 0;
+  for (NodeId n = 0; n < net.size(); ++n) fwd_after += net.node(n).stats().forwarded;
+
+  exp::Metrics m;
+  m.scalar("delivery_frac", sink.delivery_ratio(n_msgs));
+  m.scalar("copies_per_msg", static_cast<double>(fwd_after - fwd_before) / n_msgs);
+  return m;
 }
 
-void part1() {
+std::string disj_label(const Scheme& s, int f) {
+  return std::string{s.label} + "/f=" + std::to_string(f);
+}
+
+// ---------- Part 2: fair scheduling under a resource-consumption attack ------
+
+/// Star topology: 5 source overlay nodes (0..4; node 4 is the attacker)
+/// feed a relay (5) that forwards everything over one bottleneck overlay
+/// link to the destination (6). Fairness in §IV-B is per SOURCE overlay
+/// node, enforced at the relay's egress to the bottleneck.
+exp::Metrics run_fairness(bool fair, Duration traffic_time, std::uint64_t seed) {
+  sim::Simulator sim;
+  sim::Rng rng{seed};
+  net::Internet inet{sim, rng.fork(1)};
+  const auto isp = inet.add_isp("one");
+  std::vector<net::RouterId> routers;
+  std::vector<net::HostId> hosts;
+  for (int i = 0; i < 7; ++i) {
+    routers.push_back(inet.add_router(isp, "r" + std::to_string(i)));
+    hosts.push_back(inet.add_host("h" + std::to_string(i)));
+    net::LinkConfig access;
+    access.prop_delay = sim::Duration::microseconds(50);
+    access.bandwidth_bps = 1e9;
+    inet.attach_host(hosts.back(), routers.back(), access);
+  }
+  net::LinkConfig fat;
+  fat.prop_delay = 2_ms;
+  fat.bandwidth_bps = 1e9;
+  for (int i = 0; i < 5; ++i) inet.add_link(routers[static_cast<std::size_t>(i)], routers[5], fat);
+  net::LinkConfig bottleneck = fat;
+  bottleneck.prop_delay = 5_ms;
+  // FIFO case: the wire itself is the bottleneck (~1000 x 588B msgs/s).
+  // Fair case: a fat wire; the IT egress pacer enforces the same 1000/s.
+  bottleneck.bandwidth_bps = fair ? 1e9 : 1000.0 * (500 + 88) * 8;
+  bottleneck.max_queue_delay = 50_ms;
+  inet.add_link(routers[5], routers[6], bottleneck);
+
+  topo::Graph g(7);
+  for (topo::NodeIndex i = 0; i < 5; ++i) g.add_edge(i, 5, 2.0);
+  g.add_edge(5, 6, 5.0);
+  overlay::NodeConfig cfg;
+  cfg.authenticate = fair;
+  cfg.link_protocols.it_egress_msgs_per_sec = 1000;
+  cfg.link_protocols.it_buffer_per_source = 32;
+  overlay::OverlayNetwork net{sim, inet, g, hosts, cfg, rng.fork(2)};
+  net.settle(2_s);
+
+  overlay::ServiceSpec spec;
+  spec.link_protocol =
+      fair ? overlay::LinkProtocol::kITPriority : overlay::LinkProtocol::kBestEffort;
+
+  auto& dst = net.node(6).connect(50);
+  std::map<overlay::NodeId, std::uint64_t> got;
+  dst.set_handler([&](const overlay::Message& m, Duration) { ++got[m.hdr.origin]; });
+
+  std::vector<std::unique_ptr<client::CbrSender>> senders;
+  for (overlay::NodeId s = 0; s < 4; ++s) {
+    auto& c = net.node(s).connect(10);
+    senders.push_back(std::make_unique<client::CbrSender>(
+        sim, c,
+        client::CbrSender::Options{overlay::Destination::unicast(6, 50), spec, 150, 500,
+                                   sim.now(), sim.now() + traffic_time}));
+  }
+  auto& attacker = net.node(4).connect(10);
+  senders.push_back(std::make_unique<client::CbrSender>(
+      sim, attacker,
+      client::CbrSender::Options{overlay::Destination::unicast(6, 50), spec, 5000, 500,
+                                 sim.now(), sim.now() + traffic_time}));
+  sim.run_for(traffic_time + 2_s);
+
+  exp::Metrics m;
+  std::uint64_t total = 0;
+  for (const overlay::NodeId p : {0, 1, 2, 3, 4}) {
+    m.scalar("src" + std::to_string(p) + "_msgs", static_cast<double>(got[p]));
+    total += got[p];
+  }
+  m.scalar("total_msgs", static_cast<double>(total));
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = exp::Options::parse(argc, argv, "intrusion", 20, 7000);
+  const int placements = opts.quick ? std::min(5, opts.effective_reps()) : 0;
+  const Duration fair_time = opts.quick ? 4_s : 10_s;
+
+  exp::Experiment ex{opts};
+  for (const auto& s : kSchemes) {
+    for (int f = 0; f <= 4; ++f) {
+      exp::Json params = exp::Json::object();
+      params["scheme"] = s.label;
+      params["k"] = static_cast<std::uint64_t>(s.k);
+      params["f"] = static_cast<std::int64_t>(f);
+      ex.add_cell(disj_label(s, f), std::move(params),
+                  [s, f](std::uint64_t seed) {
+                    return run_disjoint_trial(s.scheme, s.k, f, seed);
+                  },
+                  placements);
+    }
+  }
+  for (const bool fair : {false, true}) {
+    exp::Json params = exp::Json::object();
+    params["scheme"] = fair ? "IT-Priority" : "shared FIFO";
+    params["fair"] = fair;
+    ex.add_cell(fair ? "IT-Priority" : "shared FIFO", std::move(params),
+                [fair, fair_time](std::uint64_t seed) {
+                  return run_fairness(fair, fair_time, seed);
+                },
+                /*reps_override=*/1);  // deterministic single scenario
+  }
+  const exp::Report report = ex.run();
+
   bench::heading("ITDISJ",
                  "Redundant dissemination vs compromised overlay nodes (§IV-B)");
   bench::note("12-node circulant overlay C12(1,2) (vertex connectivity 4, so 3 node-");
   bench::note("disjoint paths exist between every pair — continental maps are typically");
   bench::note("only 2-connected coast-to-coast). f random interior nodes blackhole all");
   bench::note("transit data while behaving correctly in the control plane (stealthy).");
-  bench::note("Node 0 -> node 6, 50 messages, 20 random compromise sets per cell.");
+  bench::note("Node 0 -> node 6, 50 messages, %d random compromise sets per cell.",
+              placements > 0 ? placements : opts.effective_reps());
   bench::note("'copies' = overlay transmissions per message (redundancy cost).");
-
-  struct Scheme {
-    const char* label;
-    RouteScheme scheme;
-    std::uint8_t k;
-  };
-  const std::vector<Scheme> schemes{
-      {"link-state (1 path)", RouteScheme::kLinkState, 1},
-      {"2 disjoint paths", RouteScheme::kDisjointPaths, 2},
-      {"3 disjoint paths", RouteScheme::kDisjointPaths, 3},
-      {"constrained flooding", RouteScheme::kFlooding, 0},
-  };
 
   bench::Table t{{"scheme", "f=0", "f=1", "f=2", "f=3", "f=4", "copies"}, 13};
   std::printf("%22s", "");
   t.print_header();
-  for (const auto& s : schemes) {
+  for (const auto& s : kSchemes) {
     std::printf("%22s", s.label);
     double copies = 0.0;
     for (int f = 0; f <= 4; ++f) {
-      const auto r = run_disjoint_trials(s.scheme, s.k, f, 20);
-      t.cell(100.0 * r.delivery, "%.1f%%");
-      copies = std::max(copies, r.copies);
+      const auto& c = report.cell(disj_label(s, f));
+      t.cell(100.0 * c.scalar_mean("delivery_frac"), "%.1f%%");
+      copies = std::max(copies, c.scalar_mean("copies_per_msg"));
     }
     t.cell(copies, "%.1f");
     t.end_row();
@@ -131,11 +233,7 @@ void part1() {
   bench::note("Expected shape: k disjoint paths tolerate f <= k-1 compromises (100%%)");
   bench::note("and degrade only when f >= k; flooding survives everything except");
   bench::note("partition of correct nodes, at the highest redundancy cost.");
-}
 
-// ---------- Part 2: fair scheduling under a resource-consumption attack ------
-
-void part2() {
   bench::heading("ITFAIR",
                  "Fair round-robin scheduling under a flooding source (§IV-B)");
   bench::note("Two overlay nodes, one overlay link able to carry ~1000 msg/s. 4 correct");
@@ -143,88 +241,17 @@ void part2() {
   bench::note("'shared FIFO' = best-effort through a bandwidth-limited pipe;");
   bench::note("'IT-Priority' = per-source buffers + round-robin egress + HMAC auth.");
 
-  struct Run {
-    const char* label;
-    bool fair;
-  };
-  const std::vector<Run> runs{{"shared FIFO", false}, {"IT-Priority", true}};
-
-  bench::Table t{{"scheme", "src1", "src2", "src3", "src4", "attacker", "total"}, 11};
+  bench::Table ft{{"scheme", "src1", "src2", "src3", "src4", "attacker", "total"}, 11};
   std::printf("%14s", "");
-  t.print_header();
-
-  for (const auto& run : runs) {
-    // Star topology: 5 source overlay nodes (0..4; node 4 is the attacker)
-    // feed a relay (5) that forwards everything over one bottleneck overlay
-    // link to the destination (6). Fairness in §IV-B is per SOURCE overlay
-    // node, enforced at the relay's egress to the bottleneck.
-    sim::Simulator sim;
-    sim::Rng rng{77};
-    net::Internet inet{sim, rng.fork(1)};
-    const auto isp = inet.add_isp("one");
-    std::vector<net::RouterId> routers;
-    std::vector<net::HostId> hosts;
-    for (int i = 0; i < 7; ++i) {
-      routers.push_back(inet.add_router(isp, "r" + std::to_string(i)));
-      hosts.push_back(inet.add_host("h" + std::to_string(i)));
-      net::LinkConfig access;
-      access.prop_delay = sim::Duration::microseconds(50);
-      access.bandwidth_bps = 1e9;
-      inet.attach_host(hosts.back(), routers.back(), access);
+  ft.print_header();
+  for (const bool fair : {false, true}) {
+    const auto& c = report.cell(fair ? "IT-Priority" : "shared FIFO");
+    std::printf("%14s", fair ? "IT-Priority" : "shared FIFO");
+    for (const int p : {0, 1, 2, 3, 4}) {
+      ft.cell(static_cast<std::uint64_t>(c.scalar_mean("src" + std::to_string(p) + "_msgs")));
     }
-    net::LinkConfig fat;
-    fat.prop_delay = 2_ms;
-    fat.bandwidth_bps = 1e9;
-    for (int i = 0; i < 5; ++i) inet.add_link(routers[static_cast<std::size_t>(i)], routers[5], fat);
-    net::LinkConfig bottleneck = fat;
-    bottleneck.prop_delay = 5_ms;
-    // FIFO case: the wire itself is the bottleneck (~1000 x 588B msgs/s).
-    // Fair case: a fat wire; the IT egress pacer enforces the same 1000/s.
-    bottleneck.bandwidth_bps = run.fair ? 1e9 : 1000.0 * (500 + 88) * 8;
-    bottleneck.max_queue_delay = 50_ms;
-    inet.add_link(routers[5], routers[6], bottleneck);
-
-    topo::Graph g(7);
-    for (topo::NodeIndex i = 0; i < 5; ++i) g.add_edge(i, 5, 2.0);
-    g.add_edge(5, 6, 5.0);
-    overlay::NodeConfig cfg;
-    cfg.authenticate = run.fair;
-    cfg.link_protocols.it_egress_msgs_per_sec = 1000;
-    cfg.link_protocols.it_buffer_per_source = 32;
-    overlay::OverlayNetwork net{sim, inet, g, hosts, cfg, rng.fork(2)};
-    net.settle(2_s);
-
-    overlay::ServiceSpec spec;
-    spec.link_protocol =
-        run.fair ? overlay::LinkProtocol::kITPriority : overlay::LinkProtocol::kBestEffort;
-
-    auto& dst = net.node(6).connect(50);
-    std::map<overlay::NodeId, std::uint64_t> got;
-    dst.set_handler([&](const overlay::Message& m, Duration) { ++got[m.hdr.origin]; });
-
-    std::vector<std::unique_ptr<client::CbrSender>> senders;
-    for (overlay::NodeId s = 0; s < 4; ++s) {
-      auto& c = net.node(s).connect(10);
-      senders.push_back(std::make_unique<client::CbrSender>(
-          sim, c,
-          client::CbrSender::Options{overlay::Destination::unicast(6, 50), spec, 150, 500,
-                                     sim.now(), sim.now() + 10_s}));
-    }
-    auto& attacker = net.node(4).connect(10);
-    senders.push_back(std::make_unique<client::CbrSender>(
-        sim, attacker,
-        client::CbrSender::Options{overlay::Destination::unicast(6, 50), spec, 5000, 500,
-                                   sim.now(), sim.now() + 10_s}));
-    sim.run_for(12_s);
-
-    std::printf("%14s", run.label);
-    std::uint64_t total = 0;
-    for (const overlay::NodeId p : {0, 1, 2, 3, 4}) {
-      t.cell(got[p]);
-      total += got[p];
-    }
-    t.cell(total);
-    t.end_row();
+    ft.cell(static_cast<std::uint64_t>(c.scalar_mean("total_msgs")));
+    ft.end_row();
   }
   bench::note("");
   bench::note("Expected shape: under the shared FIFO the attacker (33x each correct");
@@ -232,12 +259,6 @@ void part2() {
   bench::note("sources starve almost completely; IT-Priority's per-source buffers and");
   bench::note("round-robin egress deliver the correct sources' full 150 msg/s each,");
   bench::note("and only the attacker is clamped to the leftover capacity.");
-}
 
-}  // namespace
-
-int main() {
-  part1();
-  part2();
-  return 0;
+  return bench::write_report(report, opts) ? 0 : 1;
 }

@@ -10,6 +10,10 @@
 //   * "the latency overhead of using a multi-hop indirect overlay path
 //     rather than the direct Internet path is small" — measured on the
 //     continental-US map as overlay-path vs direct-fiber propagation.
+//
+// The CPU section is real-time measurement and inherently machine-dependent;
+// it is skipped under --quick and never part of the deterministic report.
+// The path-overhead table is pure geometry and runs through son::exp.
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
@@ -131,43 +135,70 @@ void BM_DisseminationGraphComputation(benchmark::State& state) {
 }
 BENCHMARK(BM_DisseminationGraphComputation);
 
-void print_path_overhead_table() {
+/// Pure-geometry path overhead for one site pair; deterministic (no Rng use,
+/// but routed through the runner so it lands in the structured report).
+exp::Metrics run_pair(topo::NodeIndex a, topo::NodeIndex b, std::uint64_t /*seed*/) {
+  const auto map = topo::continental_us();
+  const topo::Graph g = topo::overlay_graph(map);
+  const auto direct = topo::fiber_latency(map.cities[a], map.cities[b]);
+  const auto path = topo::shortest_path(g, a, b);
+  const double overlay_ms = path ? topo::path_cost(g, *path) : 0.0;
+  exp::Metrics m;
+  m.scalar("direct_ms", direct.to_millis_f());
+  m.scalar("overlay_ms", overlay_ms);
+  m.scalar("hops", static_cast<double>(path ? path->size() - 1 : 0));
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Strip the runner flags first; google-benchmark sees the remainder.
+  const auto opts = exp::Options::parse(argc, argv, "overhead", 1, 1);
+
+  if (!opts.quick) {
+    bench::heading("OVHD-A", "Per-node processing cost, real CPU time (§II-D)");
+    bench::note("Paper: 'less than 1ms additional latency per intermediate overlay node'.");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+
   bench::heading("OVHD-B", "Overlay path latency vs direct fiber (§II-D)");
   bench::note("One-way propagation: multi-hop overlay route vs a hypothetical direct");
   bench::note("great-circle fiber between the sites (the best the native Internet");
   bench::note("could possibly do).");
 
   const auto map = topo::continental_us();
-  const topo::Graph g = topo::overlay_graph(map);
-  bench::Table t{{"pair", "direct ms", "overlay ms", "overhead", "hops"}, 14};
-  t.print_header();
   const std::vector<std::pair<topo::NodeIndex, topo::NodeIndex>> pairs{
       {0, 9}, {0, 11}, {3, 11}, {2, 10}, {0, 7}, {4, 3}};
+  exp::Experiment ex{opts};
   for (const auto& [a, b] : pairs) {
-    const auto direct = topo::fiber_latency(map.cities[a], map.cities[b]);
-    const auto path = topo::shortest_path(g, a, b);
-    const double overlay_ms = path ? topo::path_cost(g, *path) : 0.0;
+    const std::string label = map.cities[a].name + "-" + map.cities[b].name;
+    exp::Json params = exp::Json::object();
+    params["src"] = map.cities[a].name;
+    params["dst"] = map.cities[b].name;
+    ex.add_cell(label, std::move(params),
+                [a, b](std::uint64_t seed) { return run_pair(a, b, seed); },
+                /*reps_override=*/1);
+  }
+  const exp::Report report = ex.run();
+
+  bench::Table t{{"pair", "direct ms", "overlay ms", "overhead", "hops"}, 14};
+  t.print_header();
+  for (const auto& [a, b] : pairs) {
+    const auto& c = report.cell(map.cities[a].name + "-" + map.cities[b].name);
     t.cell(map.cities[a].name + "-" + map.cities[b].name);
-    t.cell(direct.to_millis_f());
-    t.cell(overlay_ms);
-    t.cell(overlay_ms / direct.to_millis_f(), "%.2fx");
-    t.cell(static_cast<std::uint64_t>(path ? path->size() - 1 : 0));
+    t.cell(c.scalar_mean("direct_ms"));
+    t.cell(c.scalar_mean("overlay_ms"));
+    t.cell(c.scalar_mean("overlay_ms") / c.scalar_mean("direct_ms"), "%.2fx");
+    t.cell(static_cast<std::uint64_t>(c.scalar_mean("hops")));
     t.end_row();
   }
   bench::note("");
   bench::note("Expected shape: overlay paths cost ~1.0-1.3x the direct fiber; with");
-  bench::note("<1 ms processing per intermediate node (see BM_Forward_* above, which");
-  bench::note("measure the actual hot path in nanoseconds), the end-to-end overhead of");
-  bench::note("the structured overlay is a few ms on a ~35-40 ms continental path.");
-}
+  bench::note("<1 ms processing per intermediate node (see BM_Forward_* in OVHD-A,");
+  bench::note("which measure the actual hot path in nanoseconds), the end-to-end");
+  bench::note("overhead of the structured overlay is a few ms on a ~35-40 ms path.");
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  bench::heading("OVHD-A", "Per-node processing cost, real CPU time (§II-D)");
-  bench::note("Paper: 'less than 1ms additional latency per intermediate overlay node'.");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  print_path_overhead_table();
-  return 0;
+  return bench::write_report(report, opts) ? 0 : 1;
 }

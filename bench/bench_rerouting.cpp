@@ -29,34 +29,29 @@ using namespace son::sim::literals;
 using sim::Duration;
 using sim::TimePoint;
 
-struct GapResult {
+exp::Metrics gap_metrics(const std::vector<double>& arrivals_s, std::uint64_t sent,
+                         std::uint64_t received, double start_s, double end_s) {
   double max_gap_ms = 0.0;
-  std::uint64_t lost = 0;
-  std::uint64_t sent = 0;
-};
-
-GapResult analyze(const std::vector<double>& arrivals_s, std::uint64_t sent,
-                  std::uint64_t received, double start_s, double end_s) {
-  GapResult g;
-  g.sent = sent;
-  g.lost = sent - received;
   double prev = start_s;
   for (const double a : arrivals_s) {
-    g.max_gap_ms = std::max(g.max_gap_ms, (a - prev) * 1000.0);
+    max_gap_ms = std::max(max_gap_ms, (a - prev) * 1000.0);
     prev = a;
   }
-  g.max_gap_ms = std::max(g.max_gap_ms, (end_s - prev) * 1000.0);
-  return g;
+  max_gap_ms = std::max(max_gap_ms, (end_s - prev) * 1000.0);
+  exp::Metrics m;
+  m.scalar("max_gap_ms", max_gap_ms);
+  m.scalar("lost", static_cast<double>(sent - received));
+  m.scalar("sent", static_cast<double>(sent));
+  return m;
 }
 
 constexpr double kRate = 500.0;
-const Duration kRunFor = 60_s;
 const TimePoint kCutAt = TimePoint::zero() + 10_s;
 
 /// (a) Native IP: raw datagrams NYC host -> LAX host, no overlay.
-GapResult run_native() {
+exp::Metrics run_native(Duration run_for, std::uint64_t seed) {
   sim::Simulator sim;
-  net::Internet inet{sim, sim::Rng{1}};
+  net::Internet inet{sim, sim::Rng{seed}};
   const auto map = topo::continental_us();
   const auto u = topo::build_dual_isp(inet, map, topo::DualIspOptions{});
 
@@ -68,7 +63,7 @@ GapResult run_native() {
   });
   std::uint64_t sent = 0;
   std::function<void()> tick = [&]() {
-    if (sim.now() >= TimePoint::zero() + kRunFor) return;
+    if (sim.now() >= TimePoint::zero() + run_for) return;
     net::Datagram d;
     d.src = u.hosts[0];
     d.dst = u.hosts[9];
@@ -92,19 +87,19 @@ GapResult run_native() {
       inet.set_link_up(link, false);
     }
   });
-  sim.run_until(TimePoint::zero() + kRunFor);
-  return analyze(arrivals, sent, received, 0.0, kRunFor.to_seconds_f());
+  sim.run_until(TimePoint::zero() + run_for);
+  return gap_metrics(arrivals, sent, received, 0.0, run_for.to_seconds_f());
 }
 
 /// (b)/(c) Overlay flow; cut one or both ISPs' fiber under the first overlay
 /// link of the route in use.
-GapResult run_overlay(bool cut_both_isps) {
+exp::Metrics run_overlay(bool cut_both_isps, Duration run_for, std::uint64_t seed) {
   sim::Simulator sim;
-  net::Internet inet{sim, sim::Rng{2}};
+  net::Internet inet{sim, sim::Rng{seed}};
   const auto map = topo::continental_us();
   const auto u = topo::build_dual_isp(inet, map, topo::DualIspOptions{});
   overlay::NodeConfig cfg;
-  overlay::OverlayNetwork net{sim, inet, map, u, cfg, sim::Rng{3}};
+  overlay::OverlayNetwork net{sim, inet, map, u, cfg, sim::Rng{seed + 1}};
   net.settle(3_s);
 
   auto& src = net.node(0).connect(49);   // NYC
@@ -118,7 +113,7 @@ GapResult run_overlay(bool cut_both_isps) {
   overlay::ServiceSpec spec;  // link-state + best effort: pure rerouting test
   client::CbrSender sender{sim, src,
                            {overlay::Destination::unicast(9, 50), spec, kRate, 800,
-                            sim.now(), TimePoint::zero() + 3_s + kRunFor}};
+                            sim.now(), TimePoint::zero() + 3_s + run_for}};
 
   sim.schedule_at(TimePoint::zero() + 3_s + (kCutAt - TimePoint::zero()), [&]() {
     // Cut the fiber (both ISPs' copies if requested) under the first overlay
@@ -127,50 +122,67 @@ GapResult run_overlay(bool cut_both_isps) {
     inet.set_link_up(u.links_a[nh], false);
     if (cut_both_isps) inet.set_link_up(u.links_b[nh], false);
   });
-  sim.run_until(TimePoint::zero() + 3_s + kRunFor);
-  return analyze(arrivals, sender.sent(), sink.received(), 3.0,
-                 3.0 + kRunFor.to_seconds_f());
+  sim.run_until(TimePoint::zero() + 3_s + run_for);
+  return gap_metrics(arrivals, sender.sent(), sink.received(), 3.0,
+                     3.0 + run_for.to_seconds_f());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = exp::Options::parse(argc, argv, "rerouting", 1, 1);
+  // The native-IP cell must outlive the 40 s BGP convergence delay to
+  // measure it; the quick mode keeps 15 s past the cut instead of 50 s.
+  const Duration run_for = opts.quick ? 25_s : 60_s;
+
   bench::heading("REROUTE",
                  "Sub-second overlay rerouting vs BGP convergence (§II-A, Fig. 1)");
-  bench::note("Flow: NYC -> LAX, 500 pkt/s for 60 s; fiber cut at t=10 s on the route");
+  bench::note("Flow: NYC -> LAX, 500 pkt/s for %.0f s; fiber cut at t=10 s on the route",
+              run_for.to_seconds_f());
   bench::note("in use. Internet BGP-style convergence delay: 40 s. Overlay hellos:");
   bench::note("100 ms, 3 misses to declare a channel dead.");
 
+  struct Row {
+    const char* label;
+    const char* downtime;
+  };
+  const std::vector<Row> rows{{"native IP", "BGP (~40s)"},
+                              {"overlay, 1 ISP cut", "ISP failover"},
+                              {"overlay, 2 ISPs cut", "overlay reroute"}};
+
+  exp::Experiment ex{opts};
+  {
+    exp::Json params = exp::Json::object();
+    params["configuration"] = "native";
+    ex.add_cell("native IP", std::move(params),
+                [run_for](std::uint64_t seed) { return run_native(run_for, seed); });
+  }
+  for (const bool both : {false, true}) {
+    exp::Json params = exp::Json::object();
+    params["configuration"] = both ? "overlay_2isp_cut" : "overlay_1isp_cut";
+    ex.add_cell(both ? "overlay, 2 ISPs cut" : "overlay, 1 ISP cut", std::move(params),
+                [both, run_for](std::uint64_t seed) {
+                  return run_overlay(both, run_for, seed + 1);
+                });
+  }
+  const exp::Report report = ex.run();
+
   bench::Table t{{"configuration", "max gap ms", "lost", "sent", "downtime"}, 16};
   t.print_header();
-
-  const GapResult native = run_native();
-  t.cell(std::string{"native IP"});
-  t.cell(native.max_gap_ms, "%.0f");
-  t.cell(native.lost);
-  t.cell(native.sent);
-  t.cell(std::string{"BGP (~40s)"});
-  t.end_row();
-
-  const GapResult one = run_overlay(false);
-  t.cell(std::string{"overlay, 1 ISP cut"});
-  t.cell(one.max_gap_ms, "%.0f");
-  t.cell(one.lost);
-  t.cell(one.sent);
-  t.cell(std::string{"ISP failover"});
-  t.end_row();
-
-  const GapResult both = run_overlay(true);
-  t.cell(std::string{"overlay, 2 ISPs cut"});
-  t.cell(both.max_gap_ms, "%.0f");
-  t.cell(both.lost);
-  t.cell(both.sent);
-  t.cell(std::string{"overlay reroute"});
-  t.end_row();
+  for (const auto& row : rows) {
+    const auto& c = report.cell(row.label);
+    t.cell(std::string{row.label});
+    t.cell(c.scalar_mean("max_gap_ms"), "%.0f");
+    t.cell(static_cast<std::uint64_t>(c.scalar_mean("lost")));
+    t.cell(static_cast<std::uint64_t>(c.scalar_mean("sent")));
+    t.cell(std::string{row.downtime});
+    t.end_row();
+  }
 
   bench::note("");
   bench::note("Expected shape: native IP goes dark for ~40,000 ms (BGP); the overlay");
   bench::note("restores the flow in hundreds of ms — via multihoming when one provider");
   bench::note("fails, via overlay-level rerouting when the link is fully severed.");
-  return 0;
+
+  return bench::write_report(report, opts) ? 0 : 1;
 }

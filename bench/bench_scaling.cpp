@@ -9,6 +9,7 @@
 //   * control-plane traffic per node (hellos + state floods),
 //   * full route-recompute CPU time (the work done on every LSA change),
 //   * end-to-end rerouting time after a fiber cut (what the state buys).
+#include <algorithm>
 #include <chrono>
 
 #include "bench_common.hpp"
@@ -22,15 +23,14 @@ using namespace son::sim::literals;
 using sim::Duration;
 using sim::TimePoint;
 
-double route_recompute_us(std::size_t n) {
+double route_recompute_us(std::size_t n, int iters) {
   overlay::TopologyDb db{overlay::circulant_topology(n)};
   overlay::GroupDb groups{n};
   overlay::Router router{0, db, groups};
   // Warm up, then time LSA-apply + full next-hop recompute.
   std::uint64_t seq = 1;
   const auto t0 = std::chrono::steady_clock::now();
-  constexpr int kIters = 2000;
-  for (int i = 0; i < kIters; ++i) {
+  for (int i = 0; i < iters; ++i) {
     overlay::LinkStateAd ad;
     ad.origin = 0;
     ad.seq = seq++;
@@ -40,23 +40,15 @@ double route_recompute_us(std::size_t n) {
     (void)nh;
   }
   const auto t1 = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::micro>(t1 - t0).count() / kIters;
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() / iters;
 }
 
-struct ScaleRow {
-  double ctl_frames_per_node_s = 0.0;
-  double reroute_gap_ms = 0.0;
-  double recompute_us = 0.0;
-};
-
-ScaleRow run(std::size_t n) {
-  ScaleRow row;
-  row.recompute_us = route_recompute_us(n);
-
+exp::Metrics run(std::size_t n, Duration traffic_time, int recompute_iters,
+                 std::uint64_t seed) {
   sim::Simulator sim;
   overlay::GraphOptions gopts;
   auto fx = overlay::build_graph_fixture(sim, overlay::circulant_topology(n), gopts,
-                                         sim::Rng{900 + n});
+                                         sim::Rng{seed});
   fx.overlay->settle(3_s);
 
   auto& src = fx.overlay->node(0).connect(1);
@@ -69,7 +61,8 @@ ScaleRow run(std::size_t n) {
   });
   client::CbrSender sender{sim, src,
                            {overlay::Destination::unicast(dst_id, 2),
-                            overlay::ServiceSpec{}, 500, 200, sim.now(), sim.now() + 15_s}};
+                            overlay::ServiceSpec{}, 500, 200, sim.now(),
+                            sim.now() + traffic_time}};
 
   std::uint64_t frames0 = 0;
   for (overlay::NodeId i = 0; i < n; ++i) frames0 += fx.overlay->node(i).stats().frames_sent;
@@ -79,40 +72,63 @@ ScaleRow run(std::size_t n) {
     const overlay::LinkBit nh = fx.overlay->node(0).router().next_hop(dst_id);
     fx.internet->set_link_up(fx.fiber[nh], false);
   });
-  sim.run_for(17_s);
+  const Duration measured = traffic_time + 2_s;
+  sim.run_for(measured);
 
   std::uint64_t frames1 = 0;
   for (overlay::NodeId i = 0; i < n; ++i) frames1 += fx.overlay->node(i).stats().frames_sent;
-  row.ctl_frames_per_node_s =
-      static_cast<double>(frames1 - frames0) / static_cast<double>(n) / 17.0 -
-      500.0 / static_cast<double>(n);  // subtract the data flow's share
 
   double max_gap = 0.0, prev = 3.0;
   for (const double a : arrivals) {
     max_gap = std::max(max_gap, a - prev);
     prev = a;
   }
-  row.reroute_gap_ms = max_gap * 1000.0;
-  return row;
+
+  exp::Metrics m;
+  m.scalar("ctl_frames_per_node_s",
+           static_cast<double>(frames1 - frames0) / static_cast<double>(n) /
+                   measured.to_seconds_f() -
+               500.0 / static_cast<double>(n));  // subtract the data flow's share
+  m.scalar("reroute_gap_ms", max_gap * 1000.0);
+  // CPU time is machine-dependent: report it under run.timings, not results.
+  m.timing("recompute_us", route_recompute_us(n, recompute_iters));
+  return m;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = exp::Options::parse(argc, argv, "scaling", 1, 900);
+  const Duration traffic_time = opts.quick ? 8_s : 15_s;
+  const int recompute_iters = opts.quick ? 500 : 2000;
+
   bench::heading("SCALE", "Global-state costs and benefits vs overlay size (§II-A)");
   bench::note("Circulant overlays C_n(1,2); 64-bit link masks cap n at 32 (64 links) —");
   bench::note("matching the paper's 'a few tens of well situated overlay nodes'.");
   bench::note("Flow at 500 pkt/s, node 0 -> n/2; in-use fiber cut at t=5 s.");
 
+  const std::vector<std::size_t> sizes{8, 16, 24, 32};
+  exp::Experiment ex{opts};
+  for (const std::size_t n : sizes) {
+    exp::Json params = exp::Json::object();
+    params["nodes"] = static_cast<std::uint64_t>(n);
+    params["links"] = static_cast<std::uint64_t>(2 * n);
+    ex.add_cell("n=" + std::to_string(n), std::move(params),
+                [n, traffic_time, recompute_iters](std::uint64_t seed) {
+                  return run(n, traffic_time, recompute_iters, seed + n);  // legacy 900+n
+                });
+  }
+  const exp::Report report = ex.run();
+
   bench::Table t{{"nodes", "links", "ctl frames/s/node", "recompute us", "reroute ms"}, 18};
   t.print_header();
-  for (const std::size_t n : {8u, 16u, 24u, 32u}) {
-    const ScaleRow row = run(n);
+  for (const std::size_t n : sizes) {
+    const auto& c = report.cell("n=" + std::to_string(n));
     t.cell(static_cast<std::uint64_t>(n));
     t.cell(static_cast<std::uint64_t>(2 * n));
-    t.cell(row.ctl_frames_per_node_s, "%.0f");
-    t.cell(row.recompute_us, "%.2f");
-    t.cell(row.reroute_gap_ms, "%.0f");
+    t.cell(c.scalar_mean("ctl_frames_per_node_s"), "%.0f");
+    t.cell(c.timing_mean("recompute_us"), "%.2f");
+    t.cell(c.scalar_mean("reroute_gap_ms"), "%.0f");
     t.end_row();
   }
   bench::note("");
@@ -120,5 +136,6 @@ int main() {
   bench::note("grows only with node degree + flood fan-out, full route recomputation");
   bench::note("stays in microseconds, and sub-second rerouting holds at every size —");
   bench::note("the global-state design the paper argues is practical at this scale.");
-  return 0;
+
+  return bench::write_report(report, opts) ? 0 : 1;
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs every benchmark binary in --quick mode and collects the BENCH_*.json
+# reports into one directory (for CI to archive as the perf trajectory).
+#
+# Env:
+#   BENCH_BIN_DIR  directory holding the bench binaries (default build/bench)
+#   OUT_DIR        where reports land (default build/bench_reports)
+#   JOBS           worker threads per bench (default: all cores)
+#   EXTRA_ARGS     appended to every bench invocation
+set -euo pipefail
+
+BENCH_BIN_DIR="${BENCH_BIN_DIR:-build/bench}"
+OUT_DIR="${OUT_DIR:-build/bench_reports}"
+mkdir -p "$OUT_DIR"
+
+status=0
+for bin in "$BENCH_BIN_DIR"/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  short="${name#bench_}"
+  echo "=== $name (--quick) ==="
+  args=(--quick --json-out "$OUT_DIR/BENCH_${short}.json")
+  [ -n "${JOBS:-}" ] && args+=(--jobs "$JOBS")
+  # shellcheck disable=SC2086
+  if ! "$bin" "${args[@]}" ${EXTRA_ARGS:-} > "$OUT_DIR/${name}.txt" 2>&1; then
+    echo "FAILED: $name (see $OUT_DIR/${name}.txt)"
+    status=1
+  fi
+done
+
+echo
+echo "Reports in $OUT_DIR:"
+ls -l "$OUT_DIR"
+exit $status

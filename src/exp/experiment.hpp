@@ -1,0 +1,102 @@
+// Scenario definition and report generation.
+//
+// An Experiment is a list of parameter cells; each cell is a pure function
+// (seed) -> Metrics run `reps` times with seeds from the shared Options.
+// run() fans every (cell, replication) pair out over the ParallelRunner,
+// folds results per cell in replication order, and returns a Report that can
+// drive both the human tables and the machine-readable BENCH_<name>.json.
+//
+// Report JSON layout (schema_version 1):
+//   {
+//     "bench": "<name>", "schema_version": 1,
+//     "options": {"reps", "quick", "seed_base", "seeds": [...]},
+//     "results": {"cells": [
+//        {"label", "params": {...}, "reps", "seeds": [...],
+//         "metrics": {"scalars": {...}, "samples": {...}, "histograms": {...}}}
+//     ]},
+//     "run": {"jobs", "wall_clock_s", "trials", "hardware_concurrency",
+//             "timings": {"<cell label>": {...}}}          // machine-dependent
+//   }
+// Everything outside "run" is bit-identical for a fixed seed set regardless
+// of --jobs (results_json() returns exactly that deterministic part).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/json.hpp"
+#include "exp/metrics.hpp"
+#include "exp/options.hpp"
+
+namespace son::exp {
+
+using TrialFn = std::function<Metrics(std::uint64_t seed)>;
+
+class Report {
+ public:
+  struct Cell {
+    std::string label;
+    Json params;
+    std::vector<std::uint64_t> seeds;
+    CellAggregate aggregate;
+  };
+
+  [[nodiscard]] std::size_t size() const { return cells_.size(); }
+  [[nodiscard]] const Cell& cell(std::size_t i) const { return cells_.at(i); }
+  /// Aborts if the label is unknown — a typo'd lookup is a bench bug.
+  [[nodiscard]] const CellAggregate& cell(const std::string& label) const;
+
+  [[nodiscard]] double wall_clock_s() const { return wall_clock_s_; }
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+  [[nodiscard]] std::size_t total_trials() const { return total_trials_; }
+
+  /// The deterministic document: bench + options + per-cell aggregates.
+  [[nodiscard]] std::string results_json() const;
+  /// The full report (deterministic part + the "run" section).
+  [[nodiscard]] std::string full_json() const;
+  /// Writes full_json() to `path`; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  friend class Experiment;
+  [[nodiscard]] Json results_doc() const;
+
+  std::string bench_;
+  Json options_;
+  std::vector<Cell> cells_;
+  double wall_clock_s_ = 0.0;
+  unsigned jobs_ = 1;
+  std::size_t total_trials_ = 0;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(Options opts) : opts_{std::move(opts)} {}
+
+  /// Declares one parameter cell. `params` lands verbatim in the report.
+  /// `reps_override` > 0 pins this cell's replication count (e.g. a cell
+  /// that is itself deterministic needs only one trial); 0 uses the shared
+  /// --reps / --seeds setting.
+  void add_cell(std::string label, Json params, TrialFn fn, int reps_override = 0);
+
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Runs all trials (reps x cells) through the ParallelRunner and
+  /// aggregates. Prints a progress line to stderr when it is a terminal.
+  [[nodiscard]] Report run() const;
+
+ private:
+  struct CellDef {
+    std::string label;
+    Json params;
+    TrialFn fn;
+    int reps;
+  };
+
+  Options opts_;
+  std::vector<CellDef> cells_;
+};
+
+}  // namespace son::exp

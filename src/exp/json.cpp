@@ -1,0 +1,140 @@
+#include "exp/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace son::exp {
+
+Json::Json(bool b) : kind_{Kind::kBool}, bool_{b} {}
+Json::Json(double d) : kind_{Kind::kNumber}, num_{d} {}
+Json::Json(int i) : kind_{Kind::kSigned}, int_{i} {}
+Json::Json(std::int64_t i) : kind_{Kind::kSigned}, int_{i} {}
+Json::Json(std::uint64_t u) : kind_{Kind::kUnsigned}, uint_{u} {}
+Json::Json(const char* s) : kind_{Kind::kString}, str_{s} {}
+Json::Json(std::string s) : kind_{Kind::kString}, str_{std::move(s)} {}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) return v;
+  }
+  members_.emplace_back(key, Json{});
+  return members_.back().second;
+}
+
+void Json::push_back(Json v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  items_.push_back(std::move(v));
+}
+
+std::string Json::number_to_string(double d) {
+  if (!std::isfinite(d)) return "null";  // JSON has no inf/nan
+  char buf[40];
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+    if (std::strtod(buf, nullptr) == d) break;
+  }
+  return buf;
+}
+
+namespace {
+
+void write_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void indent(std::string& out, int depth) { out.append(static_cast<std::size_t>(depth) * 2, ' '); }
+
+}  // namespace
+
+void Json::write(std::string& out, int depth) const {
+  char buf[32];
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: out += number_to_string(num_); break;
+    case Kind::kUnsigned:
+      std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(uint_));
+      out += buf;
+      break;
+    case Kind::kSigned:
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(int_));
+      out += buf;
+      break;
+    case Kind::kString: write_escaped(out, str_); break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        indent(out, depth + 1);
+        items_[i].write(out, depth + 1);
+        if (i + 1 < items_.size()) out += ',';
+        out += '\n';
+      }
+      indent(out, depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        indent(out, depth + 1);
+        write_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.write(out, depth + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      indent(out, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(out, 0);
+  out += '\n';
+  return out;
+}
+
+}  // namespace son::exp

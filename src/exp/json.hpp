@@ -1,0 +1,61 @@
+// Minimal JSON document builder for experiment reports.
+//
+// Insertion-ordered objects and shortest-round-trip number formatting make
+// dump() byte-deterministic for a given build sequence — the property the
+// runner's "identical JSON at any thread count" guarantee rests on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace son::exp {
+
+class Json {
+ public:
+  Json() = default;  // null
+  Json(bool b);
+  Json(double d);
+  Json(int i);
+  Json(std::int64_t i);
+  Json(std::uint64_t u);
+  Json(unsigned u) : Json{static_cast<std::uint64_t>(u)} {}
+  Json(const char* s);
+  Json(std::string s);
+
+  [[nodiscard]] static Json object();
+  [[nodiscard]] static Json array();
+
+  /// Object access; inserts a null member on first use, preserving insertion
+  /// order. Converts a null value into an object.
+  Json& operator[](const std::string& key);
+
+  /// Array append. Converts a null value into an array.
+  void push_back(Json v);
+
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+
+  /// Pretty-prints with 2-space indentation and '\n' line ends.
+  [[nodiscard]] std::string dump() const;
+
+  /// Shortest decimal string that round-trips the double (deterministic).
+  [[nodiscard]] static std::string number_to_string(double d);
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kUnsigned, kSigned, kString, kArray, kObject };
+
+  void write(std::string& out, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::uint64_t uint_ = 0;
+  std::int64_t int_ = 0;
+  std::string str_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace son::exp

@@ -1,0 +1,106 @@
+#include "exp/metrics.hpp"
+
+namespace son::exp {
+
+void CellAggregate::absorb(const Metrics& m) {
+  ++trials_;
+  for (const auto& [name, v] : m.scalars()) scalars_[name].add(v);
+  for (const auto& [name, s] : m.sample_sets()) samples_[name].merge(s);
+  for (const auto& [name, h] : m.hists()) {
+    const auto it = hists_.find(name);
+    if (it == hists_.end()) {
+      hists_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+  for (const auto& [name, v] : m.timings()) timings_[name].add(v);
+}
+
+const sim::OnlineStats& CellAggregate::scalar(const std::string& name) const {
+  static const sim::OnlineStats kEmpty;
+  const auto it = scalars_.find(name);
+  return it == scalars_.end() ? kEmpty : it->second;
+}
+
+const sim::OnlineStats& CellAggregate::timing(const std::string& name) const {
+  static const sim::OnlineStats kEmpty;
+  const auto it = timings_.find(name);
+  return it == timings_.end() ? kEmpty : it->second;
+}
+
+const sim::SampleSet& CellAggregate::samples(const std::string& name) const {
+  static const sim::SampleSet kEmpty;
+  const auto it = samples_.find(name);
+  return it == samples_.end() ? kEmpty : it->second;
+}
+
+const sim::Histogram* CellAggregate::hist(const std::string& name) const {
+  const auto it = hists_.find(name);
+  return it == hists_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+Json stats_json(const sim::OnlineStats& s) {
+  Json j = Json::object();
+  j["n"] = s.count();
+  j["mean"] = s.mean();
+  j["stddev"] = s.stddev();
+  j["min"] = s.min();
+  j["max"] = s.max();
+  j["sum"] = s.sum();
+  return j;
+}
+
+Json samples_json(const sim::SampleSet& s) {
+  Json j = Json::object();
+  j["n"] = s.size();
+  j["mean"] = s.mean();
+  j["min"] = s.min();
+  j["p50"] = s.quantile(0.5);
+  j["p90"] = s.quantile(0.9);
+  j["p99"] = s.quantile(0.99);
+  j["p999"] = s.quantile(0.999);
+  j["max"] = s.max();
+  return j;
+}
+
+Json hist_json(const sim::Histogram& h) {
+  Json j = Json::object();
+  j["lo"] = h.lo();
+  j["bin_width"] = h.bin_width();
+  j["total"] = h.total();
+  Json counts = Json::array();
+  for (std::size_t i = 0; i < h.bins(); ++i) counts.push_back(h.bin_count(i));
+  j["counts"] = std::move(counts);
+  return j;
+}
+
+}  // namespace
+
+Json CellAggregate::metrics_json() const {
+  Json j = Json::object();
+  if (!scalars_.empty()) {
+    Json& s = j["scalars"];
+    for (const auto& [name, st] : scalars_) s[name] = stats_json(st);
+  }
+  if (!samples_.empty()) {
+    Json& s = j["samples"];
+    for (const auto& [name, ss] : samples_) s[name] = samples_json(ss);
+  }
+  if (!hists_.empty()) {
+    Json& s = j["histograms"];
+    for (const auto& [name, h] : hists_) s[name] = hist_json(h);
+  }
+  return j;
+}
+
+Json CellAggregate::timings_json() const {
+  if (timings_.empty()) return Json{};
+  Json j = Json::object();
+  for (const auto& [name, st] : timings_) j[name] = stats_json(st);
+  return j;
+}
+
+}  // namespace son::exp

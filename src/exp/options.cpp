@@ -1,0 +1,117 @@
+#include "exp/options.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace son::exp {
+
+namespace {
+
+[[noreturn]] void usage(const Options& defaults, int code) {
+  std::printf(
+      "Usage: bench_%s [options]\n"
+      "  --reps N        replications per cell (default %d)\n"
+      "  --seeds a,b,c   explicit comma-separated seed list\n"
+      "  --seed-base S   seed for replication 0 (default %llu); rep i uses S+i\n"
+      "  --jobs N        worker threads (default: hardware concurrency)\n"
+      "  --json-out P    write the JSON report to P (default BENCH_%s.json)\n"
+      "  --no-json       do not write a JSON report\n"
+      "  --quick         reduced durations/replications (CI smoke mode)\n"
+      "  --help          this message\n",
+      defaults.bench.c_str(), defaults.reps,
+      static_cast<unsigned long long>(defaults.seed_base), defaults.bench.c_str());
+  std::exit(code);
+}
+
+std::uint64_t parse_u64(const char* s, const Options& defaults) {
+  char* end = nullptr;
+  const auto v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') {
+    std::fprintf(stderr, "bad numeric argument: '%s'\n", s);
+    usage(defaults, 2);
+  }
+  return v;
+}
+
+std::vector<std::uint64_t> parse_seed_list(const char* s, const Options& defaults) {
+  std::vector<std::uint64_t> out;
+  const char* p = s;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const auto v = std::strtoull(p, &end, 10);
+    if (end == p) {
+      std::fprintf(stderr, "bad seed list: '%s'\n", s);
+      usage(defaults, 2);
+    }
+    out.push_back(v);
+    p = end;
+    if (*p == ',') ++p;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "empty seed list\n");
+    usage(defaults, 2);
+  }
+  return out;
+}
+
+}  // namespace
+
+Options Options::parse(int& argc, char** argv, std::string bench_name, int default_reps,
+                       std::uint64_t default_seed_base) {
+  Options o;
+  o.bench = std::move(bench_name);
+  o.reps = default_reps;
+  o.seed_base = default_seed_base;
+
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg);
+        usage(o, 2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(o, 0);
+    } else if (std::strcmp(arg, "--reps") == 0) {
+      o.reps = static_cast<int>(parse_u64(value(), o));
+      if (o.reps < 1) o.reps = 1;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      o.jobs = static_cast<unsigned>(parse_u64(value(), o));
+    } else if (std::strcmp(arg, "--seed-base") == 0) {
+      o.seed_base = parse_u64(value(), o);
+    } else if (std::strcmp(arg, "--seeds") == 0) {
+      o.seeds = parse_seed_list(value(), o);
+    } else if (std::strcmp(arg, "--json-out") == 0) {
+      o.json_out = value();
+    } else if (std::strcmp(arg, "--no-json") == 0) {
+      o.write_json = false;
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      o.quick = true;
+    } else {
+      argv[out++] = argv[i];  // not ours; leave for the caller
+    }
+  }
+  argc = out;
+  argv[argc] = nullptr;
+  return o;
+}
+
+std::uint64_t Options::seed_for(int rep) const {
+  const auto i = static_cast<std::size_t>(rep);
+  if (i < seeds.size()) return seeds[i];
+  return seed_base + static_cast<std::uint64_t>(rep);
+}
+
+int Options::effective_reps() const {
+  return seeds.empty() ? reps : static_cast<int>(seeds.size());
+}
+
+std::string Options::json_path() const {
+  return json_out.empty() ? "BENCH_" + bench + ".json" : json_out;
+}
+
+}  // namespace son::exp

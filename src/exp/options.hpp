@@ -1,0 +1,45 @@
+// Shared command-line interface for every benchmark binary.
+//
+// Replaces the per-bench hardcoded replication counts and seeds:
+//   --reps N        replications per cell (default is per-bench)
+//   --seeds a,b,c   explicit seed list (overrides --reps/--seed-base)
+//   --seed-base S   seed for replication 0; replication i uses S+i
+//   --jobs N        worker threads (default: hardware_concurrency)
+//   --json-out P    report path (default BENCH_<name>.json in the cwd)
+//   --no-json       skip writing the report
+//   --quick         reduced durations/replications for CI smoke runs
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace son::exp {
+
+struct Options {
+  std::string bench;  // short name; default report path is BENCH_<bench>.json
+  int reps = 1;
+  unsigned jobs = 0;  // 0 = hardware_concurrency
+  std::uint64_t seed_base = 1;
+  std::vector<std::uint64_t> seeds;  // explicit --seeds list, if given
+  bool quick = false;
+  bool write_json = true;
+  std::string json_out;  // empty = default path
+
+  /// Parses and REMOVES recognized flags from argv (unrecognized arguments
+  /// stay, so google-benchmark flags etc. pass through). Prints usage and
+  /// exits on --help or malformed values.
+  [[nodiscard]] static Options parse(int& argc, char** argv, std::string bench_name,
+                                     int default_reps, std::uint64_t default_seed_base);
+
+  /// Seed for replication `rep`: the explicit list if given (extended from
+  /// seed_base past its end), else seed_base + rep.
+  [[nodiscard]] std::uint64_t seed_for(int rep) const;
+
+  /// Replications per cell: the explicit seed list's size if given, else reps.
+  [[nodiscard]] int effective_reps() const;
+
+  [[nodiscard]] std::string json_path() const;
+};
+
+}  // namespace son::exp

@@ -1,0 +1,54 @@
+#include "exp/runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace son::exp {
+
+ParallelRunner::ParallelRunner(unsigned jobs) : jobs_{jobs} {
+  if (jobs_ == 0) jobs_ = std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::vector<Metrics> ParallelRunner::run(const std::vector<Trial>& trials) const {
+  std::vector<Metrics> results(trials.size());
+  if (trials.empty()) return results;
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;  // guards first_error + progress callback
+  std::exception_ptr first_error;
+
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= trials.size()) return;
+      try {
+        results[i] = trials[i].fn();
+      } catch (...) {
+        const std::scoped_lock lock{mu};
+        if (!first_error) first_error = std::current_exception();
+      }
+      const std::size_t d = done.fetch_add(1) + 1;
+      if (progress_) {
+        const std::scoped_lock lock{mu};
+        progress_(d, trials.size(), trials[i].label);
+      }
+    }
+  };
+
+  const auto n_threads = static_cast<std::size_t>(jobs_) < trials.size()
+                             ? static_cast<std::size_t>(jobs_)
+                             : trials.size();
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads - 1);
+  for (std::size_t t = 1; t < n_threads; ++t) pool.emplace_back(worker);
+  worker();  // the caller's thread is pool member #0
+  for (auto& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace son::exp

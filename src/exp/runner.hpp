@@ -1,0 +1,46 @@
+// Thread-pooled trial execution.
+//
+// Replications are embarrassingly parallel: each owns its sim::Simulator and
+// sim::Rng and touches no global mutable state, so the runner just fans the
+// trial closures out over a std::thread pool. Results come back indexed by
+// trial position, and all aggregation happens on the caller's thread in that
+// order — aggregate output is bit-identical at any --jobs value.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/metrics.hpp"
+
+namespace son::exp {
+
+struct Trial {
+  std::string label;  // for progress display only
+  std::function<Metrics()> fn;
+};
+
+class ParallelRunner {
+ public:
+  /// jobs == 0 selects std::thread::hardware_concurrency().
+  explicit ParallelRunner(unsigned jobs = 0);
+
+  [[nodiscard]] unsigned jobs() const { return jobs_; }
+
+  /// Called after each trial completes with (done, total, label); invoked
+  /// under a lock, possibly from worker threads.
+  using Progress = std::function<void(std::size_t, std::size_t, const std::string&)>;
+  void set_progress(Progress p) { progress_ = std::move(p); }
+
+  /// Runs every trial, using up to jobs() threads, and returns results in
+  /// trial order. The first exception thrown by a trial is rethrown here
+  /// after all workers have stopped.
+  [[nodiscard]] std::vector<Metrics> run(const std::vector<Trial>& trials) const;
+
+ private:
+  unsigned jobs_;
+  Progress progress_;
+};
+
+}  // namespace son::exp

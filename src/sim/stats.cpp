@@ -16,6 +16,24 @@ void OnlineStats::add(double x) {
   max_ = std::max(max_, x);
 }
 
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
 void SampleSet::sort() const {
@@ -62,6 +80,12 @@ double SampleSet::fraction_at_most(double threshold) const {
   return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
 }
 
+void SampleSet::merge(const SampleSet& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
 const std::vector<double>& SampleSet::sorted_values() const {
   sort();
   return samples_;
@@ -87,6 +111,13 @@ void Histogram::add(double x) {
   idx = std::clamp<std::int64_t>(idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  assert(lo_ == other.lo_ && width_ == other.width_ &&
+         counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
 }
 
 std::string Histogram::render(std::size_t max_width) const {

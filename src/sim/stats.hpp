@@ -17,6 +17,11 @@ class OnlineStats {
  public:
   void add(double x);
 
+  /// Folds `other` in as if its samples had been add()ed here (Chan et al.
+  /// parallel moments). Enables per-replication stats collected on worker
+  /// threads to be combined into one aggregate.
+  void merge(const OnlineStats& other);
+
   [[nodiscard]] std::uint64_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
   [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
@@ -57,6 +62,10 @@ class SampleSet {
 
   void clear() { samples_.clear(); sorted_ = false; }
 
+  /// Appends all of `other`'s samples; quantiles over the merged set equal
+  /// those of a single stream that saw both sets.
+  void merge(const SampleSet& other);
+
   /// All samples in ascending order.
   [[nodiscard]] const std::vector<double>& sorted_values() const;
 
@@ -76,7 +85,14 @@ class Histogram {
   Histogram(double lo, double hi, std::size_t bins);
 
   void add(double x);
+
+  /// Adds `other`'s bin counts. Both histograms must have identical
+  /// [lo, hi) x bins geometry (asserted).
+  void merge(const Histogram& other);
+
   [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double bin_width() const { return width_; }
   [[nodiscard]] std::size_t bins() const { return counts_.size(); }
   [[nodiscard]] std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
   [[nodiscard]] double bin_lo(std::size_t i) const {

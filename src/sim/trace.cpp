@@ -1,6 +1,7 @@
 #include "sim/trace.hpp"
 
 #include <cstdio>
+#include <mutex>
 
 namespace son::sim {
 
@@ -16,7 +17,12 @@ std::string_view to_string(TraceLevel lvl) {
 }
 
 Tracer::Sink Tracer::stderr_sink() {
+  // One process-wide lock: replications may trace concurrently from the
+  // experiment runner's worker threads, and a record must not interleave
+  // with another thread's record mid-line.
+  static std::mutex mu;
   return [](const Record& r) {
+    const std::scoped_lock lock{mu};
     std::fprintf(stderr, "[%12.6f] %-5s %-20s %s\n", r.time.to_seconds_f(),
                  std::string{to_string(r.level)}.c_str(), r.component.c_str(),
                  r.message.c_str());

@@ -1,0 +1,204 @@
+// The son::exp contract: the ParallelRunner returns per-trial results in
+// trial-index order and the aggregated report is bit-identical at any
+// --jobs value; Options::parse strips only its own flags; Json output is
+// deterministic (insertion-ordered keys, shortest round-trip numbers).
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "exp/json.hpp"
+#include "exp/options.hpp"
+#include "exp/runner.hpp"
+#include "sim/random.hpp"
+
+namespace son::exp {
+namespace {
+
+TEST(ParallelRunner, ResultsComeBackInTrialOrder) {
+  std::vector<Trial> trials;
+  for (int i = 0; i < 20; ++i) {
+    trials.push_back(Trial{"t" + std::to_string(i), [i] {
+                             // Later trials finish first if order were by
+                             // completion time.
+                             std::this_thread::sleep_for(
+                                 std::chrono::milliseconds((20 - i) % 5));
+                             Metrics m;
+                             m.scalar("index", static_cast<double>(i));
+                             return m;
+                           }});
+  }
+  const ParallelRunner runner{4};
+  const auto results = runner.run(trials);
+  ASSERT_EQ(results.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(i)].scalars().at("index"),
+                     static_cast<double>(i));
+  }
+}
+
+TEST(ParallelRunner, ActuallyRunsTrialsConcurrently) {
+  // Two trials that each block until the other has started can only finish
+  // if two pool threads run them simultaneously.
+  std::atomic<int> arrived{0};
+  auto gate = [&arrived] {
+    arrived.fetch_add(1);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (arrived.load() < 2) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        throw std::runtime_error("peer trial never started: runner is serial");
+      }
+      std::this_thread::yield();
+    }
+    return Metrics{};
+  };
+  const ParallelRunner runner{2};
+  const auto results = runner.run({Trial{"a", gate}, Trial{"b", gate}});
+  EXPECT_EQ(results.size(), 2u);
+  EXPECT_EQ(arrived.load(), 2);
+}
+
+TEST(ParallelRunner, FirstTrialExceptionPropagates) {
+  std::vector<Trial> trials;
+  trials.push_back(Trial{"ok", [] { return Metrics{}; }});
+  trials.push_back(Trial{"boom", []() -> Metrics {
+                           throw std::runtime_error("trial failed");
+                         }});
+  const ParallelRunner runner{2};
+  EXPECT_THROW((void)runner.run(trials), std::runtime_error);
+}
+
+TEST(ParallelRunner, ZeroJobsMeansHardwareConcurrency) {
+  const ParallelRunner runner{0};
+  EXPECT_GE(runner.jobs(), 1u);
+}
+
+Options quiet_options(unsigned jobs) {
+  Options o;
+  o.bench = "selftest";
+  o.reps = 3;
+  o.jobs = jobs;
+  o.seed_base = 100;
+  o.write_json = false;
+  return o;
+}
+
+Experiment make_experiment(const Options& o) {
+  Experiment ex{o};
+  for (const int cell : {0, 1, 2}) {
+    Json params = Json::object();
+    params["cell"] = static_cast<std::int64_t>(cell);
+    ex.add_cell("cell" + std::to_string(cell), std::move(params),
+                [cell](std::uint64_t seed) {
+                  // Seed-dependent pseudo-measurements standing in for a
+                  // simulation: deterministic given (cell, seed).
+                  sim::Rng rng{seed * 97 + static_cast<std::uint64_t>(cell)};
+                  Metrics m;
+                  m.scalar("value", rng.uniform() * 1000.0);
+                  auto& lat = m.samples("lat");
+                  for (int i = 0; i < 200; ++i) lat.add(rng.exponential(25.0));
+                  auto& h = m.hist("lat_hist", 0.0, 250.0, 10);
+                  for (const double v : lat.sorted_values()) h.add(v);
+                  // Timings are machine-dependent on purpose; they must stay
+                  // out of the deterministic document.
+                  m.timing("fake_cpu_us", rng.uniform());
+                  return m;
+                });
+  }
+  return ex;
+}
+
+TEST(Experiment, AggregateIsIdenticalAtAnyJobCount) {
+  const Report serial = make_experiment(quiet_options(1)).run();
+  const Report wide = make_experiment(quiet_options(8)).run();
+  EXPECT_EQ(serial.jobs(), 1u);
+  EXPECT_EQ(wide.jobs(), 8u);
+  EXPECT_EQ(serial.results_json(), wide.results_json());
+  // And it really did run the full grid.
+  EXPECT_EQ(serial.total_trials(), 9u);
+  EXPECT_EQ(serial.cell("cell1").trials(), 3u);
+}
+
+TEST(Experiment, ExplicitSeedListDrivesReplication) {
+  Options o = quiet_options(2);
+  o.seeds = {7, 8};
+  const Report r = make_experiment(o).run();
+  EXPECT_EQ(r.total_trials(), 6u);  // 3 cells x 2 seeds
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.cell(std::size_t{0}).seeds, (std::vector<std::uint64_t>{7, 8}));
+}
+
+TEST(Options, ParseStripsOnlyItsOwnFlags) {
+  const char* raw[] = {"bench",  "--benchmark_filter=BM_Foo", "--reps", "5",
+                       "--jobs", "3",  "--seed-base", "42",
+                       "--quick", "--json-out", "/tmp/x.json", "--residual"};
+  std::vector<char*> argv;
+  for (const char* a : raw) argv.push_back(const_cast<char*>(a));
+  int argc = static_cast<int>(argv.size());
+
+  const Options o = Options::parse(argc, argv.data(), "demo", 1, 1);
+  EXPECT_EQ(o.bench, "demo");
+  EXPECT_EQ(o.reps, 5);
+  EXPECT_EQ(o.jobs, 3u);
+  EXPECT_EQ(o.seed_base, 42u);
+  EXPECT_TRUE(o.quick);
+  EXPECT_EQ(o.json_out, "/tmp/x.json");
+  EXPECT_EQ(o.json_path(), "/tmp/x.json");
+
+  // Unrecognized args survive, in order, and argc shrank accordingly.
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(argv[0], "bench");
+  EXPECT_STREQ(argv[1], "--benchmark_filter=BM_Foo");
+  EXPECT_STREQ(argv[2], "--residual");
+}
+
+TEST(Options, SeedListAndDefaults) {
+  const char* raw[] = {"bench", "--seeds", "5,9,12"};
+  std::vector<char*> argv;
+  for (const char* a : raw) argv.push_back(const_cast<char*>(a));
+  int argc = static_cast<int>(argv.size());
+
+  const Options o = Options::parse(argc, argv.data(), "demo", 4, 1000);
+  EXPECT_EQ(o.effective_reps(), 3);
+  EXPECT_EQ(o.seed_for(0), 5u);
+  EXPECT_EQ(o.seed_for(2), 12u);
+
+  const char* raw2[] = {"bench"};
+  std::vector<char*> argv2{const_cast<char*>(raw2[0])};
+  int argc2 = 1;
+  const Options d = Options::parse(argc2, argv2.data(), "demo", 4, 1000);
+  EXPECT_EQ(d.effective_reps(), 4);
+  EXPECT_EQ(d.seed_for(0), 1000u);
+  EXPECT_EQ(d.seed_for(3), 1003u);
+  EXPECT_EQ(d.json_path(), "BENCH_demo.json");
+}
+
+TEST(Json, InsertionOrderAndNumberFormat) {
+  Json doc = Json::object();
+  doc["zeta"] = 1.5;
+  doc["alpha"] = 0.1;  // shortest round-trip, not 0.1000000000000000055...
+  doc["count"] = std::uint64_t{18446744073709551615ull};
+  doc["neg"] = std::int64_t{-3};
+  doc["flag"] = true;
+  doc["name"] = "x\"y\\z";
+  Json arr = Json::array();
+  arr.push_back(1.0);
+  arr.push_back(2.5);
+  doc["arr"] = std::move(arr);
+
+  const std::string s = doc.dump();
+  // Keys in insertion order, not sorted.
+  EXPECT_LT(s.find("zeta"), s.find("alpha"));
+  EXPECT_NE(s.find("\"alpha\": 0.1"), std::string::npos) << s;
+  EXPECT_NE(s.find("18446744073709551615"), std::string::npos);
+  EXPECT_NE(s.find("\"neg\": -3"), std::string::npos);
+  EXPECT_NE(s.find("\"name\": \"x\\\"y\\\\z\""), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace son::exp

@@ -1,0 +1,144 @@
+// merge() on the stats accumulators must make parallel aggregation exact:
+// splitting a stream into chunks, accumulating each separately, and merging
+// has to equal single-stream accumulation (to fp rounding for the moments,
+// exactly for counts/extrema). This is what lets the experiment runner fold
+// per-trial metrics in trial order independent of which thread ran them.
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.hpp"
+
+namespace son::sim {
+namespace {
+
+std::vector<double> stream(std::uint64_t seed, int n) {
+  Rng rng{seed};
+  std::vector<double> v;
+  v.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) v.push_back(rng.exponential(40.0) + rng.uniform() * 3.0);
+  return v;
+}
+
+TEST(OnlineStatsMerge, EqualsSingleStream) {
+  const auto values = stream(7, 1000);
+  OnlineStats whole;
+  for (const double v : values) whole.add(v);
+
+  // Split into 3 uneven chunks, accumulate separately, merge.
+  OnlineStats a, b, c;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    (i < 100 ? a : i < 700 ? b : c).add(values[i]);
+  }
+  OnlineStats merged = a;
+  merged.merge(b);
+  merged.merge(c);
+
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12 * whole.mean());
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-9 * whole.variance());
+  EXPECT_NEAR(merged.sum(), whole.sum(), 1e-9);
+}
+
+TEST(OnlineStatsMerge, EmptyIsIdentity) {
+  OnlineStats empty;
+  OnlineStats s;
+  s.add(2.0);
+  s.add(8.0);
+
+  OnlineStats right = s;
+  right.merge(empty);  // s ⊕ ∅ = s
+  EXPECT_EQ(right.count(), 2u);
+  EXPECT_DOUBLE_EQ(right.mean(), 5.0);
+
+  OnlineStats left = empty;
+  left.merge(s);  // ∅ ⊕ s = s
+  EXPECT_EQ(left.count(), 2u);
+  EXPECT_DOUBLE_EQ(left.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(left.min(), 2.0);
+  EXPECT_DOUBLE_EQ(left.max(), 8.0);
+
+  OnlineStats both;
+  both.merge(empty);  // ∅ ⊕ ∅ = ∅
+  EXPECT_EQ(both.count(), 0u);
+  EXPECT_DOUBLE_EQ(both.mean(), 0.0);
+}
+
+TEST(OnlineStatsMerge, SingletonChunksMatchSequentialAdds) {
+  // Degenerate parallelism: every chunk holds one value.
+  const auto values = stream(11, 64);
+  OnlineStats whole;
+  OnlineStats merged;
+  for (const double v : values) {
+    whole.add(v);
+    OnlineStats one;
+    one.add(v);
+    merged.merge(one);
+  }
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12 * whole.mean());
+  EXPECT_NEAR(merged.stddev(), whole.stddev(), 1e-9 * whole.stddev());
+}
+
+TEST(SampleSetMerge, QuantilesEqualSingleStream) {
+  const auto values = stream(3, 500);
+  SampleSet whole;
+  SampleSet a, b;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    whole.add(values[i]);
+    (i % 2 ? a : b).add(values[i]);
+  }
+  SampleSet merged = a;
+  merged.merge(b);
+
+  EXPECT_EQ(merged.size(), whole.size());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+  EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+}
+
+TEST(SampleSetMerge, EmptyCases) {
+  SampleSet s;
+  s.add(1.0);
+  SampleSet empty;
+  s.merge(empty);
+  EXPECT_EQ(s.size(), 1u);
+
+  SampleSet target;
+  target.merge(s);
+  EXPECT_EQ(target.size(), 1u);
+  EXPECT_DOUBLE_EQ(target.quantile(0.5), 1.0);
+}
+
+TEST(HistogramMerge, CountsAdd) {
+  Histogram whole{0.0, 100.0, 10};
+  Histogram a{0.0, 100.0, 10};
+  Histogram b{0.0, 100.0, 10};
+  const auto values = stream(5, 300);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    whole.add(values[i]);
+    (i % 3 == 0 ? a : b).add(values[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), whole.total());
+  ASSERT_EQ(a.bins(), whole.bins());
+  for (std::size_t bin = 0; bin < whole.bins(); ++bin) {
+    EXPECT_EQ(a.bin_count(bin), whole.bin_count(bin)) << "bin " << bin;
+  }
+}
+
+#ifndef NDEBUG
+TEST(HistogramMergeDeathTest, GeometryMismatchDies) {
+  Histogram a{0.0, 100.0, 10};
+  Histogram b{0.0, 50.0, 10};
+  EXPECT_DEATH(a.merge(b), "");
+}
+#endif
+
+}  // namespace
+}  // namespace son::sim
