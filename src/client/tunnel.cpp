@@ -44,7 +44,7 @@ void TunnelGateway::on_app_datagram(const net::Datagram& d) {
   put16(h.app_src_port);
   put32(h.app_dst);
   put16(h.app_dst_port);
-  if (const auto* body = std::any_cast<std::vector<std::uint8_t>>(&d.payload)) {
+  if (const auto* body = d.payload.get<std::vector<std::uint8_t>>()) {
     bytes.insert(bytes.end(), body->begin(), body->end());
   }
   endpoint_.send(overlay::Destination::unicast(rule.egress_node, endpoint_.port()),

@@ -95,8 +95,10 @@ Options Options::parse(int& argc, char** argv, std::string bench_name, int defau
       argv[out++] = argv[i];  // not ours; leave for the caller
     }
   }
+  // Null-terminate only when args were removed: slot `out` is then inside the
+  // original array. An untouched argv is already terminated by the runtime.
+  if (out < argc) argv[out] = nullptr;
   argc = out;
-  argv[argc] = nullptr;
   return o;
 }
 

@@ -108,28 +108,32 @@ std::optional<std::vector<Internet::Step>> Internet::compute_route(RouterId from
   return path;
 }
 
-const std::vector<Internet::Step>* Internet::route(RouterId from, RouterId to, IspId isp) {
-  const RouteKey key{from, to, isp};
+const Internet::CachedRoute& Internet::route_entry(RouterId from, RouterId to, IspId isp) const {
+  assert(from < (1u << 24) && to < (1u << 24) && "route_key packs router ids into 24 bits");
+  const std::uint64_t key = route_key(from, to, isp);
   auto it = route_cache_.find(key);
   if (it == route_cache_.end()) {
-    it = route_cache_.emplace(key, compute_route(from, to, isp)).first;
+    CachedRoute entry;
+    if (auto path = compute_route(from, to, isp)) {
+      for (const auto& step : *path) {
+        entry.latency += links_[step.link].ab.config().prop_delay + cfg_.router_latency;
+      }
+      entry.path = std::make_shared<const std::vector<Step>>(std::move(*path));
+    }
+    it = route_cache_.emplace(key, std::move(entry)).first;
   }
-  return it->second ? &*it->second : nullptr;
+  return it->second;
 }
 
 std::optional<sim::Duration> Internet::route_latency(RouterId from, RouterId to,
                                                      IspId isp) const {
-  const auto path = compute_route(from, to, isp);
-  if (!path) return std::nullopt;
-  sim::Duration total = sim::Duration::zero();
-  for (const auto& step : *path) {
-    total += links_[step.link].ab.config().prop_delay + cfg_.router_latency;
-  }
-  return total;
+  const CachedRoute& entry = route_entry(from, to, isp);
+  if (!entry.path) return std::nullopt;
+  return entry.latency;
 }
 
 bool Internet::resolve_attachments(HostId src, HostId dst, const SendOptions& opts,
-                                   AttachIndex& si, AttachIndex& di, IspId& constraint) {
+                                   AttachIndex& si, AttachIndex& di, IspId& constraint) const {
   const auto& hs = hosts_[src];
   const auto& hd = hosts_[dst];
   double best = std::numeric_limits<double>::infinity();
@@ -198,8 +202,8 @@ std::uint64_t Internet::send(Datagram d, const SendOptions& opts) {
   const RouterId first_router = src_attach.router;
   const RouterId last_router = hosts_[d.dst].attaches[di].router;
 
-  const auto* path = route(first_router, last_router, constraint);
-  if (path == nullptr) {
+  const CachedRoute& entry = route_entry(first_router, last_router, constraint);
+  if (!entry.path) {
     drop(d, DropReason::kNoRoute);
     return d.id;
   }
@@ -209,15 +213,17 @@ std::uint64_t Internet::send(Datagram d, const SendOptions& opts) {
     drop(d, out.reason);
     return d.id;
   }
-  // Copy the path: in-flight packets keep their route even if caches clear.
-  sim_.schedule_at(out.arrival, [this, d, first_router, steps = *path, di,
+  // Share the path: in-flight packets hold a reference to the immutable
+  // route, so it survives cache clears without ever being copied.
+  const std::uint64_t id = d.id;
+  sim_.schedule_at(out.arrival, [this, d = std::move(d), first_router, path = entry.path, di,
                                  ttl = cfg_.default_ttl]() mutable {
-    forward(std::move(d), first_router, std::move(steps), 0, di, ttl);
+    forward(std::move(d), first_router, std::move(path), 0, di, ttl);
   });
-  return d.id;
+  return id;
 }
 
-void Internet::forward(Datagram d, RouterId at, std::vector<Step> path, std::size_t idx,
+void Internet::forward(Datagram d, RouterId at, RoutePtr path, std::size_t idx,
                        AttachIndex dst_attach, std::uint8_t ttl) {
   if (!routers_[at].actually_up) {
     drop(d, DropReason::kRouterDown);
@@ -228,7 +234,7 @@ void Internet::forward(Datagram d, RouterId at, std::vector<Step> path, std::siz
     return;
   }
 
-  if (idx == path.size()) {
+  if (idx == path->size()) {
     // Final router: deliver over the destination's access link.
     auto& attach = hosts_[d.dst].attaches[dst_attach];
     const auto out = attach.down_link.transmit(sim_.now(), d.size_bytes);
@@ -236,11 +242,12 @@ void Internet::forward(Datagram d, RouterId at, std::vector<Step> path, std::siz
       drop(d, out.reason);
       return;
     }
-    sim_.schedule_at(out.arrival, [this, d, dst_attach]() { deliver(d, dst_attach); });
+    sim_.schedule_at(out.arrival,
+                     [this, d = std::move(d), dst_attach]() { deliver(d, dst_attach); });
     return;
   }
 
-  const Step step = path[idx];
+  const Step step = (*path)[idx];
   Link& l = links_[step.link];
   if (!l.actually_up) {
     drop(d, l.believed_up ? DropReason::kStaleRoute : DropReason::kLinkDown);
@@ -288,8 +295,15 @@ void Internet::drop(const Datagram& d, DropReason reason) {
 // ---- Failures / control ----------------------------------------------------
 
 void Internet::schedule_convergence(std::function<void()> apply_belief) {
-  sim_.schedule(cfg_.convergence_delay, [this, apply = std::move(apply_belief)]() {
-    apply();
+  // Coalesce: N topology changes converging at the same instant share one
+  // event applying all beliefs (in change order) and one route-cache clear.
+  const sim::TimePoint when = sim_.now() + cfg_.convergence_delay;
+  const auto [it, inserted] = pending_convergence_.try_emplace(when);
+  it->second.push_back(std::move(apply_belief));
+  if (!inserted) return;
+  sim_.schedule_at(when, [this, when]() {
+    const auto batch = pending_convergence_.extract(when);
+    for (const auto& apply : batch.mapped()) apply();
     route_cache_.clear();
   });
 }
@@ -333,10 +347,7 @@ std::optional<sim::Duration> Internet::path_latency(HostId a, AttachIndex ai, Ho
   SendOptions opts{ai, bi};
   AttachIndex si = 0, di = 0;
   IspId constraint = kInvalidIsp;
-  // resolve_attachments is logically const (route computation only); cast to
-  // reuse the selection logic.
-  auto& self = const_cast<Internet&>(*this);
-  if (!self.resolve_attachments(a, b, opts, si, di, constraint)) return std::nullopt;
+  if (!resolve_attachments(a, b, opts, si, di, constraint)) return std::nullopt;
   const RouterId ra = hosts_[a].attaches[si].router;
   const RouterId rb = hosts_[b].attaches[di].router;
   auto lat = route_latency(ra, rb, constraint);
@@ -350,14 +361,13 @@ std::optional<std::vector<RouterId>> Internet::path_routers(HostId a, AttachInde
   SendOptions opts{ai, bi};
   AttachIndex si = 0, di = 0;
   IspId constraint = kInvalidIsp;
-  auto& self = const_cast<Internet&>(*this);
-  if (!self.resolve_attachments(a, b, opts, si, di, constraint)) return std::nullopt;
+  if (!resolve_attachments(a, b, opts, si, di, constraint)) return std::nullopt;
   const RouterId ra = hosts_[a].attaches[si].router;
   const RouterId rb = hosts_[b].attaches[di].router;
-  const auto path = compute_route(ra, rb, constraint);
-  if (!path) return std::nullopt;
+  const CachedRoute& entry = route_entry(ra, rb, constraint);
+  if (!entry.path) return std::nullopt;
   std::vector<RouterId> out{ra};
-  for (const auto& s : *path) out.push_back(s.next);
+  for (const auto& s : *entry.path) out.push_back(s.next);
   return out;
 }
 

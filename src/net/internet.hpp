@@ -12,8 +12,10 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/link.hpp"
@@ -102,6 +104,8 @@ class Internet {
     std::uint64_t delivered = 0;
     std::uint64_t dropped[16] = {};  // indexed by DropReason
   };
+  static_assert(kNumDropReasons <= sizeof(Counters::dropped) / sizeof(std::uint64_t),
+                "Counters::dropped[] is too small for DropReason — grow the array");
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
   /// Sum of bytes carried over all backbone link directions (both ways),
@@ -144,28 +148,43 @@ class Internet {
     LinkId link;
     RouterId next;
   };
-  // Key: (src router, dst router, isp constraint or kInvalidIsp for global).
-  using RouteKey = std::tuple<RouterId, RouterId, IspId>;
+  /// In-flight packets and the cache share one immutable path allocation, so
+  /// send()/forward() never copy routes and cache clears never strand them.
+  using RoutePtr = std::shared_ptr<const std::vector<Step>>;
+  struct CachedRoute {
+    RoutePtr path;  // null = no believed route
+    sim::Duration latency = sim::Duration::zero();
+  };
+  // Cache key: (src router, dst router, isp constraint or kInvalidIsp for
+  // global), packed into 64 bits (24 + 24 + 16).
+  static constexpr std::uint64_t route_key(RouterId from, RouterId to, IspId isp) {
+    return (static_cast<std::uint64_t>(from) << 40) | (static_cast<std::uint64_t>(to) << 16) |
+           isp;
+  }
 
   /// Believed-topology Dijkstra. isp == kInvalidIsp allows all links.
   [[nodiscard]] std::optional<std::vector<Step>> compute_route(RouterId from, RouterId to,
                                                                IspId isp) const;
-  const std::vector<Step>* route(RouterId from, RouterId to, IspId isp);
+  /// Cached route + its believed latency; computes on miss.
+  const CachedRoute& route_entry(RouterId from, RouterId to, IspId isp) const;
   [[nodiscard]] std::optional<sim::Duration> route_latency(RouterId from, RouterId to,
                                                            IspId isp) const;
 
   /// Chooses attachment indices per SendOptions; returns false if no route.
   bool resolve_attachments(HostId src, HostId dst, const SendOptions& opts, AttachIndex& si,
-                           AttachIndex& di, IspId& constraint);
+                           AttachIndex& di, IspId& constraint) const;
 
-  void forward(Datagram d, RouterId at, std::vector<Step> path, std::size_t idx,
-               AttachIndex dst_attach, std::uint8_t ttl);
+  void forward(Datagram d, RouterId at, RoutePtr path, std::size_t idx, AttachIndex dst_attach,
+               std::uint8_t ttl);
   void deliver(const Datagram& d, AttachIndex dst_attach);
   void drop(const Datagram& d, DropReason reason);
-  /// Schedules control-plane convergence after a topology change.
+  /// Schedules control-plane convergence after a topology change. Changes
+  /// landing at the same instant share one convergence event (and one route
+  /// cache clear) instead of scheduling one each.
   void schedule_convergence(std::function<void()> apply_belief);
 
   void trace(sim::TraceLevel lvl, const std::string& msg) const {
+    if (!tracer_.enabled(lvl)) return;
     tracer_.emit(sim_.now(), lvl, "internet", msg);
   }
 
@@ -179,7 +198,10 @@ class Internet {
   std::vector<Link> links_;
   std::vector<Host> hosts_;
 
-  std::map<RouteKey, std::optional<std::vector<Step>>> route_cache_;
+  // Mutable: lookups from const introspection paths fill the cache too.
+  mutable std::unordered_map<std::uint64_t, CachedRoute> route_cache_;
+  /// Belief updates batched per convergence instant (see schedule_convergence).
+  std::map<sim::TimePoint, std::vector<std::function<void()>>> pending_convergence_;
   std::uint64_t next_packet_id_ = 1;
   Counters counters_;
 };

@@ -15,6 +15,7 @@ const char* to_string(DropReason r) {
     case DropReason::kStaleRoute: return "stale-route";
     case DropReason::kTtlExpired: return "ttl-expired";
     case DropReason::kNoHandler: return "no-handler";
+    case DropReason::kCount_: break;
   }
   return "?";
 }

@@ -1,17 +1,71 @@
 // The underlay datagram: what the simulated Internet carries between hosts.
 //
-// The payload is opaque to the underlay (std::any), exactly as the paper
-// requires: "to the underlying network, an overlay looks like a normal
-// user-level application". Overlay messages keep their bodies in shared
-// buffers, so copying a Datagram is cheap.
+// The payload is opaque to the underlay, exactly as the paper requires: "to
+// the underlying network, an overlay looks like a normal user-level
+// application". Unlike std::any, PayloadRef is a *shared immutable* handle:
+// a datagram traversing k hops (one forwarding continuation per hop, plus
+// per-hop copies of the datagram itself) shares one payload allocation
+// instead of deep-copying the payload at every copy point.
 #pragma once
 
-#include <any>
 #include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
 
 #include "net/types.hpp"
 
 namespace son::net {
+
+namespace detail {
+/// One tag object per payload type; its address identifies the type without
+/// paying for RTTI lookups on the data path.
+template <typename T>
+inline constexpr char payload_tag = 0;
+}  // namespace detail
+
+/// Type-erased shared handle to an immutable payload. Copying a PayloadRef
+/// (and therefore a Datagram) bumps a refcount; the payload itself is
+/// allocated once, when the sender constructs it.
+class PayloadRef {
+ public:
+  PayloadRef() = default;
+
+  /// Wraps a value, like std::any's converting constructor — so call sites
+  /// keep writing `d.payload = frame;`. The value is moved into a single
+  /// shared allocation.
+  template <typename T>
+    requires(!std::is_same_v<std::remove_cvref_t<T>, PayloadRef>)
+  PayloadRef(T&& value)  // NOLINT(google-explicit-constructor)
+      : ptr_{std::make_shared<const std::remove_cvref_t<T>>(std::forward<T>(value))},
+        tag_{&detail::payload_tag<std::remove_cvref_t<T>>} {}
+
+  /// In-place construction without an intermediate move.
+  template <typename T, typename... Args>
+  [[nodiscard]] static PayloadRef make(Args&&... args) {
+    PayloadRef p;
+    p.ptr_ = std::make_shared<const T>(std::forward<Args>(args)...);
+    p.tag_ = &detail::payload_tag<T>;
+    return p;
+  }
+
+  /// Typed view of the payload; nullptr when empty or a different type
+  /// (mirrors std::any_cast<T>(&payload)).
+  template <typename T>
+  [[nodiscard]] const T* get() const {
+    return tag_ == &detail::payload_tag<T> ? static_cast<const T*>(ptr_.get()) : nullptr;
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ptr_ != nullptr; }
+  void reset() {
+    ptr_.reset();
+    tag_ = nullptr;
+  }
+
+ private:
+  std::shared_ptr<const void> ptr_;
+  const void* tag_ = nullptr;
+};
 
 struct Datagram {
   HostId src = kInvalidHost;
@@ -22,7 +76,7 @@ struct Datagram {
   std::uint32_t size_bytes = 1200;
   /// Unique per send() call; assigned by the Internet. For tracing.
   std::uint64_t id = 0;
-  std::any payload;
+  PayloadRef payload;
 };
 
 enum class DropReason : std::uint8_t {
@@ -35,7 +89,12 @@ enum class DropReason : std::uint8_t {
   kStaleRoute,     // route pointed into a failure and routing hasn't converged
   kTtlExpired,
   kNoHandler,  // destination host has no receive handler bound
+
+  kCount_,  // sentinel — keep last; sizes the per-reason drop counters
 };
+
+/// Number of real DropReason enumerators (excludes the sentinel).
+inline constexpr std::size_t kNumDropReasons = static_cast<std::size_t>(DropReason::kCount_);
 
 [[nodiscard]] const char* to_string(DropReason r);
 

@@ -450,7 +450,7 @@ void OverlayNode::set_crashed(bool crashed) { crashed_ = crashed; }
 
 void OverlayNode::on_datagram(const net::Datagram& d) {
   if (crashed_) return;  // a crashed node hears nothing
-  const auto* f = std::any_cast<LinkFrame>(&d.payload);
+  const auto* f = d.payload.get<LinkFrame>();
   if (f == nullptr) return;
   ++stats_.frames_received;
   on_frame(*f);
@@ -593,9 +593,11 @@ void OverlayNode::evaluate_link(NeighborLink& nl) {
   }
   if (best != -1 && best != nl.active_channel) {
     ++stats_.link_failovers;
-    trace(sim::TraceLevel::kInfo,
-          "link " + std::to_string(nl.spec.link) + " failover to channel " +
-              std::to_string(best));
+    if (tracer_.enabled(sim::TraceLevel::kInfo)) {
+      trace(sim::TraceLevel::kInfo,
+            "link " + std::to_string(nl.spec.link) + " failover to channel " +
+                std::to_string(best));
+    }
   }
   if (best != -1) nl.active_channel = best;
   nl.up = best != -1;

@@ -277,6 +277,7 @@ class OverlayNode {
   void state_refresh_tick();
 
   void trace(sim::TraceLevel lvl, const std::string& msg) const {
+    if (!tracer_.enabled(lvl)) return;  // skip the component-string format too
     tracer_.emit(sim_.now(), lvl, "node/" + std::to_string(id_), msg);
   }
 

@@ -5,25 +5,64 @@
 
 namespace son::sim {
 
+namespace {
+constexpr EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+  return (static_cast<EventId>(gen) << 32) | (slot + 1u);
+}
+}  // namespace
+
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNilSlot) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t idx) const {
+  Slot& s = slots_[idx];
+  s.cb.reset();
+  s.armed = false;
+  ++s.gen;
+  if (s.gen == 0) ++s.gen;  // generation 0 would collide with kInvalidEventId
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
 EventId EventQueue::schedule(TimePoint when, Callback cb) {
   assert(cb && "scheduling a null callback");
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{when, next_seq_++, id, std::move(cb)});
+  const std::uint32_t idx = acquire_slot();
+  Slot& s = slots_[idx];
+  s.cb = std::move(cb);
+  s.armed = true;
+  heap_.push_back(Entry{when, next_seq_++, idx, s.gen});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_.insert(id);
-  return id;
+  ++live_;
+  return make_id(idx, s.gen);
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (pending_.erase(id) == 0) return false;
-  cancelled_.insert(id);
+  const auto raw = static_cast<std::uint32_t>(id & 0xffffffffu);
+  if (raw == 0) return false;
+  const std::uint32_t idx = raw - 1;
+  if (idx >= slots_.size()) return false;
+  Slot& s = slots_[idx];
+  if (!s.armed || s.gen != static_cast<std::uint32_t>(id >> 32)) return false;
+  // Lazy removal: the heap entry stays until it surfaces; the callback's
+  // captured state is released eagerly.
+  s.armed = false;
+  s.cb.reset();
+  --live_;
   return true;
 }
 
 void EventQueue::skip_cancelled() const {
-  while (!heap_.empty() && cancelled_.contains(heap_.front().id)) {
-    cancelled_.erase(heap_.front().id);
+  while (!heap_.empty() && !slots_[heap_.front().slot].armed) {
+    assert(slots_[heap_.front().slot].gen == heap_.front().gen);
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    release_slot(heap_.back().slot);
     heap_.pop_back();
   }
 }
@@ -38,16 +77,29 @@ EventQueue::Fired EventQueue::pop() {
   skip_cancelled();
   assert(!heap_.empty() && "pop() on empty queue");
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
+  const Entry e = heap_.back();
   heap_.pop_back();
-  pending_.erase(e.id);
-  return Fired{e.time, std::move(e.cb)};
+  Slot& s = slots_[e.slot];
+  assert(s.armed && s.gen == e.gen);
+  Fired f{e.time, std::move(s.cb)};
+  --live_;
+  release_slot(e.slot);
+  return f;
 }
 
 void EventQueue::clear() {
   heap_.clear();
-  cancelled_.clear();
-  pending_.clear();
+  free_head_ = kNilSlot;
+  for (std::uint32_t i = static_cast<std::uint32_t>(slots_.size()); i-- > 0;) {
+    Slot& s = slots_[i];
+    s.cb.reset();
+    s.armed = false;
+    ++s.gen;
+    if (s.gen == 0) ++s.gen;
+    s.next_free = free_head_;
+    free_head_ = i;
+  }
+  live_ = 0;
 }
 
 }  // namespace son::sim

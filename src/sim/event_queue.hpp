@@ -1,26 +1,33 @@
 // Priority event queue for the discrete-event simulator.
 //
 // Events are (time, sequence) ordered: ties in time fire in schedule order,
-// which keeps runs fully deterministic. Cancellation is lazy: cancelled
-// events stay in the heap and are skipped when popped.
+// which keeps runs fully deterministic. The heap holds 24-byte POD entries;
+// callbacks live in a generation-tagged slot pool, so schedule/pop/cancel are
+// O(log n) heap operations with zero hash-table traffic and zero per-event
+// allocation at steady state (small closures are stored inline in the slot —
+// see sim/callback.hpp). Cancellation is lazy: a cancelled event's callback
+// is destroyed immediately, but its heap entry stays and is skipped when it
+// surfaces; the slot is recycled at that point.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace son::sim {
 
 /// Identifies a scheduled event; usable to cancel it. 0 is never a valid id.
+/// Encoding: (slot generation << 32) | (slot index + 1). A slot's generation
+/// bumps on every recycle, so an id held across slot reuse can never cancel
+/// the slot's next occupant.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   /// Schedules `cb` to fire at `when`. Returns an id usable with cancel().
   EventId schedule(TimePoint when, Callback cb);
@@ -29,8 +36,8 @@ class EventQueue {
   /// cancelled event is a harmless no-op. Returns true if it was pending.
   bool cancel(EventId id);
 
-  [[nodiscard]] bool empty() const { return pending_.empty(); }
-  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest pending event. Precondition: !empty().
   [[nodiscard]] TimePoint next_time() const;
@@ -43,15 +50,17 @@ class EventQueue {
   };
   Fired pop();
 
-  /// Drops all pending events.
+  /// Drops all pending events (their ids all become stale).
   void clear();
 
  private:
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+
   struct Entry {
     TimePoint time;
     std::uint64_t seq;
-    EventId id;
-    Callback cb;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -59,15 +68,26 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 1;
+    bool armed = false;  // true while the event is pending (not fired/cancelled)
+    std::uint32_t next_free = kNilSlot;
+  };
 
+  // Invariant: a slot is recycled only when its heap entry is removed, so
+  // every entry in the heap satisfies slots_[e.slot].gen == e.gen, and
+  // !armed means the entry was cancelled.
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx) const;
   void skip_cancelled() const;
 
-  // Heap is mutable so next_time() can discard cancelled heads lazily.
+  // Mutable so next_time() can retire cancelled heads lazily.
   mutable std::vector<Entry> heap_;
-  mutable std::unordered_set<EventId> cancelled_;
-  std::unordered_set<EventId> pending_;
+  mutable std::vector<Slot> slots_;
+  mutable std::uint32_t free_head_ = kNilSlot;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
 };
 
 }  // namespace son::sim

@@ -57,8 +57,9 @@ TEST(Tunnel, UnmodifiedAppTrafficRidesTheOverlay) {
   // The unmodified app: plain datagrams, no overlay API anywhere.
   std::vector<std::string> got;
   f.fx.internet->bind(f.app_b, [&](const net::Datagram& d) {
-    got.push_back(std::string{std::any_cast<std::vector<std::uint8_t>>(&d.payload)->begin(),
-                              std::any_cast<std::vector<std::uint8_t>>(&d.payload)->end()});
+    const auto* body = d.payload.get<std::vector<std::uint8_t>>();
+    ASSERT_NE(body, nullptr);
+    got.push_back(std::string{body->begin(), body->end()});
     EXPECT_EQ(d.dst_port, 443);
   });
   net::Datagram d;

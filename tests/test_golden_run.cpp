@@ -1,0 +1,126 @@
+// Golden-run determinism: a seeded multi-ISP scenario with loss, failures
+// and multihomed hosts must reproduce bit-identical Internet counters and
+// delivery timestamps across core changes. The expected values below were
+// recorded from the pre-pool simulator core (std::function event queue,
+// std::any payloads, per-send route copies); the pooled core must match them
+// exactly — that is the (time, seq) determinism contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "net/internet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "topo/backbones.hpp"
+
+namespace son {
+namespace {
+
+using namespace son::sim::literals;
+
+struct GoldenResult {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_total = 0;
+  std::uint64_t delivery_hash = 0;  // FNV-1a over (packet id, delivery time)
+  std::int64_t last_delivery_ns = 0;
+};
+
+GoldenResult run_golden_scenario() {
+  sim::Simulator sim;
+  net::Internet::Config cfg;
+  cfg.convergence_delay = sim::Duration::seconds(1);
+  net::Internet net{sim, sim::Rng{0xC0FFEE}, cfg};
+
+  topo::DualIspOptions opts;
+  opts.backbone_loss = 0.02;
+  opts.skip_in_isp_a = {2, 11};
+  opts.skip_in_isp_b = {4, 7};
+  opts.peering_cities = {0, 7};
+  const auto u = topo::build_dual_isp(net, topo::continental_us(), opts);
+
+  GoldenResult r;
+  std::uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  const auto mix = [&hash](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xff;
+      hash *= 1099511628211ULL;  // FNV prime
+    }
+  };
+  for (const auto h : u.hosts) {
+    net.bind(h, [&](const net::Datagram& d) {
+      mix(d.id);
+      mix(static_cast<std::uint64_t>(sim.now().ns()));
+      r.last_delivery_ns = sim.now().ns();
+    });
+  }
+
+  // Six CBR flows across the map, 1400-byte packets every 3 ms.
+  struct Flow {
+    net::Internet& net;
+    net::HostId src, dst;
+    sim::TimePoint stop;
+    void tick() {
+      if (net.simulator().now() >= stop) return;
+      net::Datagram d;
+      d.src = src;
+      d.dst = dst;
+      d.dst_port = 7;
+      d.size_bytes = 1400;
+      net.send(std::move(d));
+      net.simulator().schedule(3_ms, [this]() { tick(); });
+    }
+  };
+  std::vector<std::unique_ptr<Flow>> flows;
+  const std::size_t n = u.hosts.size();
+  for (std::size_t i = 0; i < 6; ++i) {
+    flows.push_back(std::make_unique<Flow>(
+        Flow{net, u.hosts[i], u.hosts[(i + n / 2) % n], sim::TimePoint::zero() + 5_s}));
+    sim.schedule(sim::Duration::microseconds(137 * (i + 1)),
+                 [f = flows.back().get()]() { f->tick(); });
+  }
+
+  // Failure schedule: single failures, a simultaneous multi-failure burst
+  // (exercising convergence coalescing), and a repair.
+  sim.schedule_at(sim::TimePoint::zero() + 500_ms,
+                  [&]() { net.set_link_up(u.links_a[0], false); });
+  sim.schedule_at(sim::TimePoint::zero() + 1200_ms,
+                  [&]() { net.set_router_up(u.routers_b[3], false); });
+  sim.schedule_at(sim::TimePoint::zero() + 1500_ms, [&]() {
+    net.set_link_up(u.links_a[5], false);
+    net.set_link_up(u.links_a[8], false);
+    net.set_link_up(u.links_b[9], false);
+  });
+  sim.schedule_at(sim::TimePoint::zero() + 2500_ms,
+                  [&]() { net.set_link_up(u.links_a[0], true); });
+
+  sim.run();
+
+  const auto& c = net.counters();
+  r.sent = c.sent;
+  r.delivered = c.delivered;
+  for (const auto d : c.dropped) r.dropped_total += d;
+  r.delivery_hash = hash;
+  return r;
+}
+
+TEST(GoldenRun, SeededScenarioMatchesRecordedBaseline) {
+  const GoldenResult r = run_golden_scenario();
+  EXPECT_EQ(r.sent, 10002u);
+  EXPECT_EQ(r.delivered, 8527u);
+  EXPECT_EQ(r.dropped_total, 1475u);
+  EXPECT_EQ(r.delivery_hash, 18392688617230050064ULL);
+  EXPECT_EQ(r.last_delivery_ns, 5024211977);
+}
+
+TEST(GoldenRun, BackToBackRunsAreIdentical) {
+  const GoldenResult a = run_golden_scenario();
+  const GoldenResult b = run_golden_scenario();
+  EXPECT_EQ(a.sent, b.sent);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.delivery_hash, b.delivery_hash);
+  EXPECT_EQ(a.last_delivery_ns, b.last_delivery_ns);
+}
+
+}  // namespace
+}  // namespace son

@@ -244,7 +244,8 @@ TEST(Internet, PayloadRoundTrips) {
   Triangle t;
   std::string got;
   t.inet.bind(t.hb, [&](const Datagram& d) {
-    got = std::any_cast<std::string>(d.payload);
+    ASSERT_NE(d.payload.get<std::string>(), nullptr);
+    got = *d.payload.get<std::string>();
   });
   Datagram d;
   d.src = t.ha;

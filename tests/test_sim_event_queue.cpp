@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
 #include <vector>
 
 namespace son::sim {
@@ -87,6 +90,87 @@ TEST(EventQueue, ClearDropsEverything) {
   q.clear();
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
+}
+
+// ---- Slot-pool semantics ---------------------------------------------------
+
+TEST(EventQueue, IdsStayUniqueAcrossSlotReuse) {
+  EventQueue q;
+  std::vector<EventId> seen;
+  // Fire-and-reschedule reuses pool slots heavily; every id must be fresh.
+  for (int round = 0; round < 100; ++round) {
+    seen.push_back(q.schedule(at(round), []() {}));
+    q.pop();
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(EventQueue, StaleIdCannotCancelSlotsNextOccupant) {
+  EventQueue q;
+  const EventId old_id = q.schedule(at(10), []() {});
+  q.pop();  // fires; the slot is recycled
+  int fired = 0;
+  q.schedule(at(20), [&]() { ++fired; });  // reuses the slot
+  EXPECT_FALSE(q.cancel(old_id));          // stale generation: no-op
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelledIdStaysStaleAfterSlotReuse) {
+  EventQueue q;
+  const EventId a = q.schedule(at(10), []() {});
+  EXPECT_TRUE(q.cancel(a));
+  q.schedule(at(5), []() {});  // new slot; cancelled entry still in heap
+  q.pop();                     // surfaces + retires the cancelled entry too
+  int fired = 0;
+  q.schedule(at(30), [&]() { ++fired; });  // may reuse a's slot
+  EXPECT_FALSE(q.cancel(a));
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, ClearInvalidatesOutstandingIds) {
+  EventQueue q;
+  const EventId a = q.schedule(at(10), []() {});
+  q.clear();
+  int fired = 0;
+  q.schedule(at(10), [&]() { ++fired; });  // reuses slot 0 post-clear
+  EXPECT_FALSE(q.cancel(a));
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, LargeCallablesFallBackToHeapStorage) {
+  EventQueue q;
+  std::array<std::uint64_t, 64> big{};  // 512 bytes — beyond the inline buffer
+  big[0] = 7;
+  big[63] = 9;
+  std::uint64_t sum = 0;
+  q.schedule(at(1), [big, &sum]() { sum = big[0] + big[63]; });
+  q.pop().cb();
+  EXPECT_EQ(sum, 16u);
+}
+
+TEST(EventQueue, MoveOnlyCallablesAreSupported) {
+  EventQueue q;
+  auto owned = std::make_unique<int>(41);
+  int got = 0;
+  // std::function required copyable callables; the pooled Callback does not.
+  q.schedule(at(1), [owned = std::move(owned), &got]() { got = *owned + 1; });
+  q.pop().cb();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(EventQueue, CancelReleasesCapturedStateEagerly) {
+  EventQueue q;
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  const EventId id = q.schedule(at(100), [token = std::move(token)]() {});
+  EXPECT_TRUE(q.cancel(id));
+  // The entry is still in the heap (lazy removal) but the closure is gone.
+  EXPECT_TRUE(watch.expired());
 }
 
 TEST(EventQueue, ManyInterleavedCancellations) {
