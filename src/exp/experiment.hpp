@@ -56,8 +56,9 @@ class Report {
   [[nodiscard]] std::string results_json() const;
   /// The full report (deterministic part + the "run" section).
   [[nodiscard]] std::string full_json() const;
-  /// Writes full_json() to `path`; returns false on I/O failure.
-  bool write(const std::string& path) const;
+  /// Writes full_json() to `path`; returns false on I/O failure — callers
+  /// must surface it (a silently missing BENCH_*.json corrupts CI artifacts).
+  [[nodiscard]] bool write(const std::string& path) const;
 
  private:
   friend class Experiment;

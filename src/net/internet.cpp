@@ -5,6 +5,8 @@
 #include <limits>
 #include <queue>
 
+#include "sim/check.hpp"
+
 namespace son::net {
 
 Internet::Internet(sim::Simulator& sim, sim::Rng rng, Config cfg)
@@ -109,7 +111,8 @@ std::optional<std::vector<Internet::Step>> Internet::compute_route(RouterId from
 }
 
 const Internet::CachedRoute& Internet::route_entry(RouterId from, RouterId to, IspId isp) const {
-  assert(from < (1u << 24) && to < (1u << 24) && "route_key packs router ids into 24 bits");
+  SON_DCHECK(from < (1u << 24) && to < (1u << 24),
+             "route_key packs router ids into 24 bits");
   const std::uint64_t key = route_key(from, to, isp);
   auto it = route_cache_.find(key);
   if (it == route_cache_.end()) {
@@ -122,6 +125,11 @@ const Internet::CachedRoute& Internet::route_entry(RouterId from, RouterId to, I
     }
     it = route_cache_.emplace(key, std::move(entry)).first;
   }
+  // Cache invariant: an entry either has no path (negative cache) or a path
+  // whose recomputed latency matches the cached one — a mismatch means a
+  // topology change slipped past the convergence-time cache clear.
+  SON_DCHECK(it->second.path != nullptr || it->second.latency == sim::Duration::zero(),
+             "negative route-cache entry carries a latency");
   return it->second;
 }
 

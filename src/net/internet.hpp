@@ -114,6 +114,12 @@ class Internet {
 
   void set_tracer(sim::Tracer tracer) { tracer_ = std::move(tracer); }
 
+  /// Testing hook: rehashes the route cache to at least `buckets` buckets.
+  /// Results must be invariant under any hash-table layout — the golden-run
+  /// suite re-runs scenarios with different bucket counts (including a
+  /// mid-run rehash) to prove nothing observes unordered iteration order.
+  void rehash_route_cache(std::size_t buckets) const { route_cache_.rehash(buckets); }
+
   sim::Simulator& simulator() { return sim_; }
 
  private:

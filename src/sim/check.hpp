@@ -1,0 +1,48 @@
+// SON_DCHECK — invariant assertions that are free in Release.
+//
+// Active when NDEBUG is unset (Debug builds) or when SON_ENABLE_DCHECK is
+// defined (the SON_SANITIZE=thread CMake mode defines it, so TSan runs keep
+// checking structural invariants even at -O2). In Release the condition is
+// not evaluated at all; it is only parsed, so checks can be as expensive as
+// they need to be without taxing the hot path.
+//
+//   SON_DCHECK(cond, "message");
+//
+// On failure: prints `file:line: SON_DCHECK failed: cond — message` to
+// stderr and aborts, which every sanitizer and ctest surfaces as a hard
+// failure with a stack.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#if !defined(NDEBUG) || defined(SON_ENABLE_DCHECK)
+#define SON_DCHECK_ENABLED 1
+#else
+#define SON_DCHECK_ENABLED 0
+#endif
+
+namespace son::sim::detail {
+[[noreturn]] inline void dcheck_fail(const char* file, int line, const char* expr,
+                                     const char* msg) {
+  std::fprintf(stderr, "%s:%d: SON_DCHECK failed: %s — %s\n", file, line, expr, msg);
+  std::abort();
+}
+}  // namespace son::sim::detail
+
+#if SON_DCHECK_ENABLED
+#define SON_DCHECK(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::son::sim::detail::dcheck_fail(__FILE__, __LINE__, #cond, (msg));   \
+    }                                                                      \
+  } while (false)
+#else
+#define SON_DCHECK(cond, msg)                          \
+  do {                                                 \
+    if (false) {                                       \
+      static_cast<void>(cond);                         \
+      static_cast<void>(msg);                          \
+    }                                                  \
+  } while (false)
+#endif

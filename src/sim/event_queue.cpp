@@ -1,7 +1,8 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "sim/check.hpp"
 
 namespace son::sim {
 
@@ -14,6 +15,9 @@ constexpr EventId make_id(std::uint32_t slot, std::uint32_t gen) {
 std::uint32_t EventQueue::acquire_slot() {
   if (free_head_ != kNilSlot) {
     const std::uint32_t idx = free_head_;
+    SON_DCHECK(idx < slots_.size(), "free list points outside the slot pool");
+    SON_DCHECK(!slots_[idx].armed && !slots_[idx].cb,
+               "free-list slot still armed or holding a callback");
     free_head_ = slots_[idx].next_free;
     return idx;
   }
@@ -22,6 +26,7 @@ std::uint32_t EventQueue::acquire_slot() {
 }
 
 void EventQueue::release_slot(std::uint32_t idx) const {
+  SON_DCHECK(idx < slots_.size(), "releasing a slot outside the pool");
   Slot& s = slots_[idx];
   s.cb.reset();
   s.armed = false;
@@ -32,7 +37,7 @@ void EventQueue::release_slot(std::uint32_t idx) const {
 }
 
 EventId EventQueue::schedule(TimePoint when, Callback cb) {
-  assert(cb && "scheduling a null callback");
+  SON_DCHECK(static_cast<bool>(cb), "scheduling a null callback");
   const std::uint32_t idx = acquire_slot();
   Slot& s = slots_[idx];
   s.cb = std::move(cb);
@@ -60,27 +65,30 @@ bool EventQueue::cancel(EventId id) {
 
 void EventQueue::skip_cancelled() const {
   while (!heap_.empty() && !slots_[heap_.front().slot].armed) {
-    assert(slots_[heap_.front().slot].gen == heap_.front().gen);
+    SON_DCHECK(slots_[heap_.front().slot].gen == heap_.front().gen,
+               "cancelled heap entry's generation drifted from its slot");
     std::pop_heap(heap_.begin(), heap_.end(), Later{});
     release_slot(heap_.back().slot);
     heap_.pop_back();
   }
+  SON_DCHECK(live_ <= heap_.size(), "live counter exceeds heap entries");
 }
 
 TimePoint EventQueue::next_time() const {
   skip_cancelled();
-  assert(!heap_.empty() && "next_time() on empty queue");
+  SON_DCHECK(!heap_.empty(), "next_time() on empty queue");
   return heap_.front().time;
 }
 
 EventQueue::Fired EventQueue::pop() {
   skip_cancelled();
-  assert(!heap_.empty() && "pop() on empty queue");
+  SON_DCHECK(!heap_.empty(), "pop() on empty queue");
   std::pop_heap(heap_.begin(), heap_.end(), Later{});
   const Entry e = heap_.back();
   heap_.pop_back();
   Slot& s = slots_[e.slot];
-  assert(s.armed && s.gen == e.gen);
+  SON_DCHECK(s.armed && s.gen == e.gen,
+             "popped entry does not own its slot (stale generation or disarmed)");
   Fired f{e.time, std::move(s.cb)};
   --live_;
   release_slot(e.slot);

@@ -29,12 +29,16 @@ class EventQueue {
  public:
   using Callback = sim::Callback;
 
-  /// Schedules `cb` to fire at `when`. Returns an id usable with cancel().
-  EventId schedule(TimePoint when, Callback cb);
+  /// Schedules `cb` to fire at `when`. Returns an id usable with cancel();
+  /// discarding it forfeits the only handle to the event, so callers that
+  /// never cancel must say so explicitly (assign to a discarded value).
+  [[nodiscard]] EventId schedule(TimePoint when, Callback cb);
 
   /// Cancels a pending event. Cancelling an already-fired or already-
-  /// cancelled event is a harmless no-op. Returns true if it was pending.
-  bool cancel(EventId id);
+  /// cancelled event is a harmless no-op. Returns true if it was pending —
+  /// callers must inspect it (a stale id silently doing nothing is exactly
+  /// the bug class the generation tags exist to surface).
+  [[nodiscard]] bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }

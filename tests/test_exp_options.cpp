@@ -1,0 +1,137 @@
+// Fuzz-ish malformed-argv coverage for exp::Options::parse.
+//
+// parse() owns the process-exiting error path (usage() + exit 2), so the
+// malformed cases run as gtest death tests: the statement must *exit* —
+// not overflow argv, not crash, not limp on with half-parsed options. This
+// pins the ASan finding fixed in the allocation-free-core PR (reading one
+// past argv when a flag's value was missing at the end of the array).
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/options.hpp"
+
+namespace son::exp {
+namespace {
+
+/// Builds a mutable, null-terminated argv from string literals, mirroring
+/// what the C runtime hands main().
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : strings_{std::move(args)} {
+    for (auto& s : strings_) ptrs_.push_back(s.data());
+    ptrs_.push_back(nullptr);
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(strings_.size()); }
+  char** data() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+};
+
+Options parse(Argv& a, int& argc) {
+  argc = a.argc();
+  return Options::parse(argc, a.data(), "t", 3, 1);
+}
+
+int parse_and_exit_code(std::vector<std::string> args) {
+  Argv a{std::move(args)};
+  int argc = 0;
+  (void)parse(a, argc);
+  return 0;  // unreachable for malformed input: parse() exits 2
+}
+
+using OptionsDeath = ::testing::Test;
+
+TEST(OptionsDeath, MissingValueAtEndOfArgvExits) {
+  // The regression ASan caught: "--reps" as the last argument must not read
+  // argv[argc]. Every value-taking flag gets the same treatment.
+  for (const char* flag : {"--reps", "--jobs", "--seed-base", "--seeds", "--json-out"}) {
+    EXPECT_EXIT(parse_and_exit_code({"bench", flag}), ::testing::ExitedWithCode(2),
+                "needs a value")
+        << flag;
+  }
+}
+
+TEST(OptionsDeath, NonNumericValueExits) {
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--reps", "many"}),
+              ::testing::ExitedWithCode(2), "bad numeric argument");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--seed-base", "0x"}),
+              ::testing::ExitedWithCode(2), "bad numeric argument");
+}
+
+TEST(OptionsDeath, MalformedSeedListsExit) {
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--seeds", ""}),
+              ::testing::ExitedWithCode(2), "empty seed list");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--seeds", ","}),
+              ::testing::ExitedWithCode(2), "bad seed list");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--seeds", "1,,2"}),
+              ::testing::ExitedWithCode(2), "bad seed list");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--seeds", "1,x"}),
+              ::testing::ExitedWithCode(2), "bad seed list");
+}
+
+TEST(OptionsDeath, HelpExitsZero) {
+  // usage() prints to stdout (EXPECT_EXIT matches stderr only), so assert
+  // just the exit code.
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--help"}), ::testing::ExitedWithCode(0), "");
+}
+
+TEST(Options, DuplicateFlagsLastOneWins) {
+  Argv a{{"bench", "--reps", "2", "--reps", "9", "--seed-base", "5", "--seed-base", "6"}};
+  int argc = 0;
+  const Options o = parse(a, argc);
+  EXPECT_EQ(o.reps, 9);
+  EXPECT_EQ(o.seed_base, 6u);
+  EXPECT_EQ(argc, 1);
+}
+
+TEST(Options, EmptyStringArgumentPassesThrough) {
+  Argv a{{"bench", "", "--quick", ""}};
+  int argc = 0;
+  const Options o = parse(a, argc);
+  EXPECT_TRUE(o.quick);
+  ASSERT_EQ(argc, 3);  // program name + the two empty strings
+  EXPECT_STREQ(a.data()[1], "");
+  EXPECT_STREQ(a.data()[2], "");
+  EXPECT_EQ(a.data()[3], nullptr);  // compacted argv stays null-terminated
+}
+
+TEST(Options, FlagLikeValuesAreConsumedAsValues) {
+  // "--json-out --quick" consumes "--quick" as the path: greedy but
+  // predictable; the remaining argv is untouched.
+  Argv a{{"bench", "--json-out", "--quick"}};
+  int argc = 0;
+  const Options o = parse(a, argc);
+  EXPECT_EQ(o.json_out, "--quick");
+  EXPECT_FALSE(o.quick);
+  EXPECT_EQ(argc, 1);
+}
+
+TEST(Options, ZeroRepsClampsToOne) {
+  Argv a{{"bench", "--reps", "0"}};
+  int argc = 0;
+  const Options o = parse(a, argc);
+  EXPECT_EQ(o.reps, 1);
+}
+
+TEST(Options, MixedKnownAndUnknownPreservesUnknownOrder) {
+  Argv a{{"bench", "--alpha", "--reps", "4", "--beta", "7", "--quick", "--gamma"}};
+  int argc = 0;
+  const Options o = parse(a, argc);
+  EXPECT_EQ(o.reps, 4);
+  EXPECT_TRUE(o.quick);
+  ASSERT_EQ(argc, 5);
+  EXPECT_STREQ(a.data()[1], "--alpha");
+  EXPECT_STREQ(a.data()[2], "--beta");
+  EXPECT_STREQ(a.data()[3], "7");
+  EXPECT_STREQ(a.data()[4], "--gamma");
+  EXPECT_EQ(a.data()[5], nullptr);
+}
+
+}  // namespace
+}  // namespace son::exp

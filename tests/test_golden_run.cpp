@@ -26,11 +26,21 @@ struct GoldenResult {
   std::int64_t last_delivery_ns = 0;
 };
 
-GoldenResult run_golden_scenario() {
+/// `cache_buckets` != 0 perturbs the route cache's hash-table layout: an
+/// up-front rehash plus a second rehash mid-run (t = 2s, between the failure
+/// bursts). Results must be bit-identical for ANY value — nothing in a
+/// result path may observe unordered-container iteration order (the same
+/// contract son-lint's unordered-iter rule enforces statically).
+GoldenResult run_golden_scenario(std::size_t cache_buckets = 0) {
   sim::Simulator sim;
   net::Internet::Config cfg;
   cfg.convergence_delay = sim::Duration::seconds(1);
   net::Internet net{sim, sim::Rng{0xC0FFEE}, cfg};
+  if (cache_buckets != 0) {
+    net.rehash_route_cache(cache_buckets);
+    sim.schedule_at(sim::TimePoint::zero() + 2_s,
+                    [&]() { net.rehash_route_cache(cache_buckets * 4); });
+  }
 
   topo::DualIspOptions opts;
   opts.backbone_loss = 0.02;
@@ -111,6 +121,22 @@ TEST(GoldenRun, SeededScenarioMatchesRecordedBaseline) {
   EXPECT_EQ(r.dropped_total, 1475u);
   EXPECT_EQ(r.delivery_hash, 18392688617230050064ULL);
   EXPECT_EQ(r.last_delivery_ns, 5024211977);
+}
+
+// Runtime leg of the determinism contract: re-run the scenario in-process
+// with very different hash-table geometries (tiny, huge, plus mid-run
+// rehashes). Any code path that iterates an unordered container into a
+// result would see different orders here and break the pinned hash.
+TEST(GoldenRun, IndependentOfHashTableLayout) {
+  const GoldenResult base = run_golden_scenario();
+  for (const std::size_t buckets : {1ul, 7ul, 4096ul}) {
+    const GoldenResult r = run_golden_scenario(buckets);
+    EXPECT_EQ(r.sent, base.sent) << "buckets=" << buckets;
+    EXPECT_EQ(r.delivered, base.delivered) << "buckets=" << buckets;
+    EXPECT_EQ(r.dropped_total, base.dropped_total) << "buckets=" << buckets;
+    EXPECT_EQ(r.delivery_hash, base.delivery_hash) << "buckets=" << buckets;
+    EXPECT_EQ(r.last_delivery_ns, base.last_delivery_ns) << "buckets=" << buckets;
+  }
 }
 
 TEST(GoldenRun, BackToBackRunsAreIdentical) {

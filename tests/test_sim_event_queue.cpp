@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <array>
+#include <tuple>
 #include <memory>
 #include <vector>
 
@@ -17,9 +18,9 @@ TimePoint at(std::int64_t ms) { return TimePoint::zero() + Duration::millisecond
 TEST(EventQueue, FiresInTimeOrder) {
   EventQueue q;
   std::vector<int> order;
-  q.schedule(at(30), [&]() { order.push_back(3); });
-  q.schedule(at(10), [&]() { order.push_back(1); });
-  q.schedule(at(20), [&]() { order.push_back(2); });
+  std::ignore = q.schedule(at(30), [&]() { order.push_back(3); });
+  std::ignore = q.schedule(at(10), [&]() { order.push_back(1); });
+  std::ignore = q.schedule(at(20), [&]() { order.push_back(2); });
   while (!q.empty()) q.pop().cb();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -28,7 +29,7 @@ TEST(EventQueue, TiesFireInScheduleOrder) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    q.schedule(at(5), [&order, i]() { order.push_back(i); });
+    std::ignore = q.schedule(at(5), [&order, i]() { order.push_back(i); });
   }
   while (!q.empty()) q.pop().cb();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
@@ -38,7 +39,7 @@ TEST(EventQueue, CancelPreventsFiring) {
   EventQueue q;
   int fired = 0;
   const EventId id = q.schedule(at(10), [&]() { ++fired; });
-  q.schedule(at(20), [&]() { ++fired; });
+  std::ignore = q.schedule(at(20), [&]() { ++fired; });
   EXPECT_TRUE(q.cancel(id));
   EXPECT_EQ(q.size(), 1u);
   while (!q.empty()) q.pop().cb();
@@ -69,15 +70,15 @@ TEST(EventQueue, CancelFiredEventIsNoop) {
 TEST(EventQueue, NextTimeSkipsCancelledHead) {
   EventQueue q;
   const EventId id = q.schedule(at(10), []() {});
-  q.schedule(at(20), []() {});
-  q.cancel(id);
+  std::ignore = q.schedule(at(20), []() {});
+  EXPECT_TRUE(q.cancel(id));
   EXPECT_EQ(q.next_time(), at(20));
 }
 
 TEST(EventQueue, PopReturnsTimeAndCallback) {
   EventQueue q;
   int x = 0;
-  q.schedule(at(7), [&]() { x = 42; });
+  std::ignore = q.schedule(at(7), [&]() { x = 42; });
   auto fired = q.pop();
   EXPECT_EQ(fired.time, at(7));
   fired.cb();
@@ -86,7 +87,7 @@ TEST(EventQueue, PopReturnsTimeAndCallback) {
 
 TEST(EventQueue, ClearDropsEverything) {
   EventQueue q;
-  for (int i = 0; i < 5; ++i) q.schedule(at(i), []() {});
+  for (int i = 0; i < 5; ++i) std::ignore = q.schedule(at(i), []() {});
   q.clear();
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
@@ -111,7 +112,7 @@ TEST(EventQueue, StaleIdCannotCancelSlotsNextOccupant) {
   const EventId old_id = q.schedule(at(10), []() {});
   q.pop();  // fires; the slot is recycled
   int fired = 0;
-  q.schedule(at(20), [&]() { ++fired; });  // reuses the slot
+  std::ignore = q.schedule(at(20), [&]() { ++fired; });  // reuses the slot
   EXPECT_FALSE(q.cancel(old_id));          // stale generation: no-op
   EXPECT_EQ(q.size(), 1u);
   while (!q.empty()) q.pop().cb();
@@ -122,10 +123,10 @@ TEST(EventQueue, CancelledIdStaysStaleAfterSlotReuse) {
   EventQueue q;
   const EventId a = q.schedule(at(10), []() {});
   EXPECT_TRUE(q.cancel(a));
-  q.schedule(at(5), []() {});  // new slot; cancelled entry still in heap
+  std::ignore = q.schedule(at(5), []() {});  // new slot; cancelled entry still in heap
   q.pop();                     // surfaces + retires the cancelled entry too
   int fired = 0;
-  q.schedule(at(30), [&]() { ++fired; });  // may reuse a's slot
+  std::ignore = q.schedule(at(30), [&]() { ++fired; });  // may reuse a's slot
   EXPECT_FALSE(q.cancel(a));
   while (!q.empty()) q.pop().cb();
   EXPECT_EQ(fired, 1);
@@ -136,7 +137,7 @@ TEST(EventQueue, ClearInvalidatesOutstandingIds) {
   const EventId a = q.schedule(at(10), []() {});
   q.clear();
   int fired = 0;
-  q.schedule(at(10), [&]() { ++fired; });  // reuses slot 0 post-clear
+  std::ignore = q.schedule(at(10), [&]() { ++fired; });  // reuses slot 0 post-clear
   EXPECT_FALSE(q.cancel(a));
   while (!q.empty()) q.pop().cb();
   EXPECT_EQ(fired, 1);
@@ -148,7 +149,7 @@ TEST(EventQueue, LargeCallablesFallBackToHeapStorage) {
   big[0] = 7;
   big[63] = 9;
   std::uint64_t sum = 0;
-  q.schedule(at(1), [big, &sum]() { sum = big[0] + big[63]; });
+  std::ignore = q.schedule(at(1), [big, &sum]() { sum = big[0] + big[63]; });
   q.pop().cb();
   EXPECT_EQ(sum, 16u);
 }
@@ -158,7 +159,7 @@ TEST(EventQueue, MoveOnlyCallablesAreSupported) {
   auto owned = std::make_unique<int>(41);
   int got = 0;
   // std::function required copyable callables; the pooled Callback does not.
-  q.schedule(at(1), [owned = std::move(owned), &got]() { got = *owned + 1; });
+  std::ignore = q.schedule(at(1), [owned = std::move(owned), &got]() { got = *owned + 1; });
   q.pop().cb();
   EXPECT_EQ(got, 42);
 }
@@ -180,7 +181,7 @@ TEST(EventQueue, ManyInterleavedCancellations) {
   for (int i = 0; i < 1000; ++i) {
     ids.push_back(q.schedule(at(i), [&]() { ++fired; }));
   }
-  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  for (std::size_t i = 0; i < ids.size(); i += 2) EXPECT_TRUE(q.cancel(ids[i]));
   EXPECT_EQ(q.size(), 500u);
   while (!q.empty()) q.pop().cb();
   EXPECT_EQ(fired, 500);

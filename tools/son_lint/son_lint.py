@@ -1,0 +1,661 @@
+#!/usr/bin/env python3
+"""son-lint — determinism & ordering linter for the son simulator tree.
+
+The repo's headline guarantee is that every result-affecting computation is a
+pure function of (topology, seeds, schedule order): aggregates are
+bit-identical at any --jobs count and the golden-run delivery hash is pinned
+across releases.  Runtime tests catch violations only on the paths they
+exercise; this linter rejects the *constructs* that break the guarantee, at
+lint time, anywhere in src/ and bench/:
+
+  wall-clock      reading real time (system_clock/steady_clock/time()/...)
+  raw-rand        std::rand, srand, drand48, arc4random, std::random_device
+  std-rng         std library RNG engines (use sim::Rng, seeded + forkable)
+  env-read        getenv/setenv — results must not depend on the environment
+  unordered-iter  iterating an unordered container with an effectful body
+                  (emits events, sends packets, accumulates, prints, ...)
+  ptr-key-order   containers ordered by raw pointer keys (address-dependent)
+  float-accum     ad-hoc float/double accumulation over trial results outside
+                  the established merge() path
+
+Engines:
+  * libclang (python `clang.cindex`), when importable — AST-accurate for the
+    call-based rules.
+  * token/regex fallback (default everywhere the binding is missing, so CI
+    never needs clang headers): comments and string literals are stripped
+    with a real tokenizer first, so the rules match code, not prose.
+
+Suppressions (both require a justification):
+  * inline:  // son-lint: allow(rule-id) "why this use is sound"
+    applies to the same line and the next line.
+  * allowlist file (son_lint.conf):  allow <rule-id> <path-glob> -- <reason>
+
+Exit codes: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import re
+import sys
+from pathlib import Path
+
+RULES = {
+    "wall-clock": "reads real (wall/monotonic) time; sim code must derive time from sim::Simulator::now()",
+    "raw-rand": "non-deterministic randomness source; use a seeded sim::Rng (fork() per component)",
+    "std-rng": "std library RNG engine; use sim::Rng so streams are seeded and forkable per component",
+    "env-read": "environment read; results must be a pure function of (topology, seeds, schedule)",
+    "unordered-iter": "iterates an unordered container with an effectful body; iteration order is "
+    "hash/layout-dependent — use sorted iteration, std::map, or a stable vector",
+    "ptr-key-order": "container ordered or keyed by a raw pointer; ordering depends on allocation "
+    "addresses, which vary run to run",
+    "float-accum": "ad-hoc floating-point accumulation over trial results; fold through "
+    "sim::OnlineStats/SampleSet/Histogram merge() in trial-index order instead",
+    "bad-suppression": "son-lint suppression without a justification string",
+}
+
+SOURCE_EXTS = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".ipp"}
+
+
+class Finding:
+    __slots__ = ("file", "line", "rule", "message", "snippet")
+
+    def __init__(self, file: str, line: int, rule: str, message: str, snippet: str = ""):
+        self.file = file
+        self.line = line
+        self.rule = rule
+        self.message = message
+        self.snippet = snippet.strip()[:160]
+
+    def to_json(self):
+        return {
+            "file": self.file,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+    def __str__(self):
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Tokenizer: blank out comments and string/char literals, preserving line
+# structure, and collect suppression comments.
+# --------------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(r"son-lint:\s*allow\(([\w\-, ]+)\)\s*(\"([^\"]*)\")?")
+
+
+def strip_code(text: str):
+    """Returns (code, suppressions, bad_suppression_lines).
+
+    `code` mirrors `text` with comment and string-literal contents replaced by
+    spaces.  `suppressions` maps line number -> set of rule ids allowed on
+    that line (a comment suppresses its own line and the next).
+    """
+    out = []
+    suppressions: dict[int, set[str]] = {}
+    bad_lines: list[int] = []
+    i, n = 0, len(text)
+    line = 1
+    state = "code"
+    comment_start_line = 0
+    comment_buf: list[str] = []
+    raw_delim = ""
+
+    def register_comment(comment: str, at_line: int):
+        m = _SUPPRESS_RE.search(comment)
+        if not m:
+            return
+        rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+        reason = m.group(3)
+        if not reason or not reason.strip():
+            bad_lines.append(at_line)
+            return
+        unknown = rules - set(RULES)
+        if unknown:
+            bad_lines.append(at_line)
+        for ln in (at_line, at_line + 1):
+            suppressions.setdefault(ln, set()).update(rules)
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                comment_start_line = line
+                comment_buf = []
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                comment_start_line = line
+                comment_buf = []
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal?  R"delim( ... )delim"
+                if i >= 1 and text[i - 1] == "R" and (i < 2 or not text[i - 2].isalnum()):
+                    m = re.match(r'"([^ ()\\\t\n]*)\(', text[i:])
+                    if m:
+                        raw_delim = ")" + m.group(1) + '"'
+                        state = "raw_string"
+                        out.append('"')
+                        i += 1
+                        continue
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+            if c == "\n":
+                line += 1
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                register_comment("".join(comment_buf), comment_start_line)
+                state = "code"
+                out.append("\n")
+                line += 1
+            else:
+                comment_buf.append(c)
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                register_comment("".join(comment_buf), comment_start_line)
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            comment_buf.append(c)
+            if c == "\n":
+                out.append("\n")
+                line += 1
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "string":
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "code"
+                out.append('"')
+            elif c == "\n":  # unterminated; be forgiving
+                state = "code"
+                out.append("\n")
+                line += 1
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "char":
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+                continue
+            if c == "'":
+                state = "code"
+                out.append("'")
+            elif c == "\n":
+                state = "code"
+                out.append("\n")
+                line += 1
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "raw_string":
+            if text.startswith(raw_delim, i):
+                out.append(" " * (len(raw_delim) - 1) + '"')
+                i += len(raw_delim)
+                state = "code"
+                continue
+            out.append("\n" if c == "\n" else " ")
+            if c == "\n":
+                line += 1
+            i += 1
+    if state == "line_comment":
+        register_comment("".join(comment_buf), comment_start_line)
+    return "".join(out), suppressions, bad_lines
+
+
+# --------------------------------------------------------------------------
+# Token-engine rules
+# --------------------------------------------------------------------------
+
+_SIMPLE_RULES = [
+    (
+        "wall-clock",
+        re.compile(
+            r"\b(?:std::)?chrono::(?:system_clock|steady_clock|high_resolution_clock)\b"
+            r"|\bclock_gettime\b|\bgettimeofday\b|\bstd::time\s*\("
+            r"|(?<![\w:.>])time\s*\(\s*(?:nullptr|NULL|0)?\s*\)"
+        ),
+    ),
+    (
+        "raw-rand",
+        re.compile(
+            r"\bstd::rand\b|(?<![\w:.>])s?rand\s*\(|\bdrand48\b|\barc4random\w*\b"
+            r"|\brandom_device\b"
+        ),
+    ),
+    (
+        "std-rng",
+        re.compile(
+            r"\b(?:std::)?(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine"
+            r"|ranlux24(?:_base)?|ranlux48(?:_base)?|knuth_b)\b"
+        ),
+    ),
+    (
+        "env-read",
+        re.compile(r"\b(?:std::)?(?:getenv|secure_getenv|setenv|putenv|unsetenv)\s*\("),
+    ),
+    (
+        "ptr-key-order",
+        re.compile(
+            r"\b(?:std::)?(?:map|set|multimap|multiset|priority_queue)\s*<\s*"
+            r"(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*"
+        ),
+    ),
+]
+
+_UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+_USING_ALIAS_RE = re.compile(
+    r"\busing\s+(\w+)\s*=\s*[^;]*\bunordered_(?:map|set|multimap|multiset)\s*<"
+)
+_IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+# Statements inside an unordered-container loop body that make iteration order
+# observable: scheduling events, sending packets, tracing/printing, appending
+# to ordered output, or floating/stat accumulation.
+_EFFECT_RE = re.compile(
+    r"\bschedule(?:_at)?\s*\(|\bsend\s*\(|\bemit\s*\(|\btrace\s*\(|\bprintf\s*\(|"
+    r"\bfprintf\s*\(|\bcout\b|\bcerr\b|<<|\bpush_back\s*\(|\bemplace_back\s*\(|"
+    r"\babsorb\s*\(|\brecord\s*\(|\bmix\s*\(|\+=|\bhash\b|\bwrite\s*\(|\bappend\s*\("
+)
+
+_FLOAT_DECL_RE = re.compile(r"\b(?:double|float)\s+(\w+)\s*[;=({]")
+_RESULTS_NAME_RE = re.compile(r"\b(?:results|metrics|trials|samples|reports)\b")
+_FLOATISH_ACCUM_RE = re.compile(
+    r"([\w.\[\]()->]+)\s*\+=\s*[^;]*(?:\.mean\(\)|\.sum\b|\.count\b|latency|seconds|"
+    r"_s\b|\.to_seconds)"
+)
+
+
+def _skip_angle(code: str, i: int) -> int:
+    """`i` points just past a '<'; returns index just past the matching '>'."""
+    depth = 1
+    n = len(code)
+    while i < n and depth:
+        c = code[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+        elif c in ";{}":  # not a template argument list after all
+            return i
+        i += 1
+    return i
+
+
+def _match_paren(code: str, i: int) -> int:
+    """`i` points at '('; returns index of the matching ')' (or len)."""
+    depth = 0
+    n = len(code)
+    while i < n:
+        if code[i] == "(":
+            depth += 1
+        elif code[i] == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n
+
+
+def _match_brace(code: str, i: int) -> int:
+    """`i` points at '{'; returns index of the matching '}' (or len)."""
+    depth = 0
+    n = len(code)
+    while i < n:
+        if code[i] == "{":
+            depth += 1
+        elif code[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return n
+
+
+def _unordered_names(code: str) -> set[str]:
+    """Identifiers declared with an unordered container type (incl. aliases)."""
+    names: set[str] = set()
+    alias_names = {m.group(1) for m in _USING_ALIAS_RE.finditer(code)}
+    decl_res = [_UNORDERED_DECL_RE]
+    if alias_names:
+        decl_res.append(re.compile(r"\b(?:" + "|".join(map(re.escape, sorted(alias_names))) + r")\s+"))
+    for decl_re in decl_res:
+        for m in decl_re.finditer(code):
+            i = m.end()
+            if m.re is _UNORDERED_DECL_RE:
+                i = _skip_angle(code, i)
+            tail = code[i : i + 120]
+            dm = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*(?:[;={(,)]|$)", tail)
+            if dm:
+                names.add(dm.group(1))
+    return names
+
+
+def _line_of(code: str, idx: int) -> int:
+    return code.count("\n", 0, idx) + 1
+
+
+def _iter_range_fors(code: str):
+    """Yields (line, range_expr, body) for every range-based for loop."""
+    for m in re.finditer(r"\bfor\s*\(", code):
+        open_paren = m.end() - 1
+        close = _match_paren(code, open_paren)
+        header = code[open_paren + 1 : close]
+        # Top-level ':' that is not part of '::' marks a range-for.
+        depth = 0
+        colon = -1
+        j = 0
+        while j < len(header):
+            c = header[j]
+            if c in "([{<":
+                depth += 1
+            elif c in ")]}>":
+                depth -= 1
+            elif c == ":" and depth == 0:
+                if j + 1 < len(header) and header[j + 1] == ":":
+                    j += 2
+                    continue
+                if j > 0 and header[j - 1] == ":":
+                    j += 1
+                    continue
+                colon = j
+                break
+            j += 1
+        if colon < 0:
+            continue
+        range_expr = header[colon + 1 :]
+        k = close + 1
+        while k < len(code) and code[k] in " \t\n":
+            k += 1
+        if k < len(code) and code[k] == "{":
+            body = code[k : _match_brace(code, k) + 1]
+        else:
+            end = code.find(";", k)
+            body = code[k : end + 1 if end >= 0 else len(code)]
+        yield _line_of(code, m.start()), range_expr, body
+
+
+def check_file_tokens(path: Path, rel: str, conf) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        return [Finding(rel, 0, "env-read", f"unreadable file: {e}")]
+    code, suppressions, bad_lines = strip_code(text)
+    raw_lines = text.splitlines()
+    findings = [
+        Finding(rel, ln, "bad-suppression", RULES["bad-suppression"],
+                raw_lines[ln - 1] if 0 < ln <= len(raw_lines) else "")
+        for ln in bad_lines
+    ]
+
+    def emit(line: int, rule: str, extra: str = ""):
+        if rule in suppressions.get(line, ()):  # inline suppression
+            return
+        if conf.allows(rule, rel):
+            return
+        msg = RULES[rule] + (f" ({extra})" if extra else "")
+        snippet = raw_lines[line - 1] if 0 < line <= len(raw_lines) else ""
+        findings.append(Finding(rel, line, rule, msg, snippet))
+
+    # Simple pattern rules, line by line.
+    for ln, line_text in enumerate(code.splitlines(), start=1):
+        for rule, rx in _SIMPLE_RULES:
+            if rx.search(line_text):
+                emit(ln, rule)
+
+    # Unordered-container iteration with an effectful body.
+    unames = _unordered_names(code)
+    for line, range_expr, body in _iter_range_fors(code):
+        over_unordered = "unordered_" in range_expr or any(
+            ident in unames for ident in _IDENT_RE.findall(range_expr)
+        )
+        if over_unordered and _EFFECT_RE.search(body):
+            emit(line, "unordered-iter", f"range-for over '{range_expr.strip()}'")
+
+    # Iterator-style loops over unordered containers: for (auto it = x.begin();...
+    if unames:
+        it_re = re.compile(
+            r"\bfor\s*\(\s*auto\s+\w+\s*=\s*(" + "|".join(map(re.escape, sorted(unames))) + r")\s*\.\s*(?:c?begin)\s*\("
+        )
+        for m in it_re.finditer(code):
+            open_paren = code.index("(", m.start())
+            close = _match_paren(code, open_paren)
+            k = close + 1
+            while k < len(code) and code[k] in " \t\n":
+                k += 1
+            body = code[k : _match_brace(code, k) + 1] if k < len(code) and code[k] == "{" else ""
+            if _EFFECT_RE.search(body):
+                emit(_line_of(code, m.start()), "unordered-iter", f"iterator loop over '{m.group(1)}'")
+
+    # Ad-hoc float accumulation over trial results.
+    float_vars = {m.group(1) for m in _FLOAT_DECL_RE.finditer(code)}
+    for line, range_expr, body in _iter_range_fors(code):
+        if not _RESULTS_NAME_RE.search(range_expr):
+            continue
+        for am in re.finditer(r"([\w.\[\]]+)\s*\+=", body):
+            lhs_tail = am.group(1).split(".")[-1].split("[")[0]
+            if lhs_tail in float_vars or _FLOATISH_ACCUM_RE.search(body[am.start() : am.start() + 160]):
+                emit(line + _line_of(body, am.start()) - 1, "float-accum",
+                     f"'{am.group(1)} +=' over '{range_expr.strip()}'")
+                break
+
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Optional libclang engine (AST-accurate for call-based rules). Falls back to
+# the token engine per file on any parse problem.
+# --------------------------------------------------------------------------
+
+_CLANG_BANNED_CALLS = {
+    "rand": "raw-rand", "srand": "raw-rand", "drand48": "raw-rand",
+    "arc4random": "raw-rand", "arc4random_uniform": "raw-rand",
+    "getenv": "env-read", "secure_getenv": "env-read", "setenv": "env-read",
+    "putenv": "env-read", "unsetenv": "env-read",
+    "time": "wall-clock", "clock_gettime": "wall-clock", "gettimeofday": "wall-clock",
+}
+_CLANG_BANNED_TYPES = {
+    "std::random_device": "raw-rand",
+    "std::mt19937": "std-rng", "std::mt19937_64": "std-rng",
+    "std::default_random_engine": "std-rng", "std::minstd_rand": "std-rng",
+    "std::chrono::system_clock": "wall-clock",
+    "std::chrono::steady_clock": "wall-clock",
+    "std::chrono::high_resolution_clock": "wall-clock",
+}
+
+
+def check_file_clang(path: Path, rel: str, conf, cindex) -> list[Finding] | None:
+    try:
+        index = cindex.Index.create()
+        tu = index.parse(str(path), args=["-std=c++20", "-I", str(path.parents[1])])
+    except Exception:
+        return None
+    if not tu:
+        return None
+    text = path.read_text(encoding="utf-8", errors="replace")
+    _, suppressions, _ = strip_code(text)
+    raw_lines = text.splitlines()
+    findings: list[Finding] = []
+
+    def emit(line: int, rule: str):
+        if rule in suppressions.get(line, ()) or conf.allows(rule, rel):
+            return
+        snippet = raw_lines[line - 1] if 0 < line <= len(raw_lines) else ""
+        findings.append(Finding(rel, line, rule, RULES[rule], snippet))
+
+    def visit(node):
+        try:
+            if node.location.file and Path(str(node.location.file)) != path:
+                return
+        except Exception:
+            return
+        kind = node.kind
+        if kind == cindex.CursorKind.CALL_EXPR and node.spelling in _CLANG_BANNED_CALLS:
+            emit(node.location.line, _CLANG_BANNED_CALLS[node.spelling])
+        if kind in (cindex.CursorKind.DECL_REF_EXPR, cindex.CursorKind.TYPE_REF):
+            for qual, rule in _CLANG_BANNED_TYPES.items():
+                if qual.split("::")[-1] == node.spelling:
+                    emit(node.location.line, rule)
+        for child in node.get_children():
+            visit(child)
+
+    visit(tu.cursor)
+    # The structural rules (unordered-iter / ptr-key-order / float-accum) stay
+    # on the token engine even in clang mode — merge both result sets.
+    token = check_file_tokens(path, rel, conf)
+    call_rules = {"raw-rand", "std-rng", "env-read", "wall-clock"}
+    merged = {(f.file, f.line, f.rule): f for f in token if f.rule not in call_rules}
+    for f in findings:
+        merged[(f.file, f.line, f.rule)] = f
+    return sorted(merged.values(), key=lambda f: (f.file, f.line, f.rule))
+
+
+# --------------------------------------------------------------------------
+# Config / driver
+# --------------------------------------------------------------------------
+
+
+class Conf:
+    def __init__(self):
+        self.allow: list[tuple[str, str]] = []  # (rule, glob)
+
+    def load(self, path: Path):
+        for ln, line in enumerate(path.read_text().splitlines(), start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            body = line.split("--", 1)
+            parts = body[0].split()
+            if len(parts) != 3 or parts[0] != "allow" or parts[1] not in RULES:
+                raise ValueError(f"{path}:{ln}: bad allowlist line: {line!r}")
+            if len(body) < 2 or not body[1].strip():
+                raise ValueError(f"{path}:{ln}: allowlist entry needs a '-- reason'")
+            self.allow.append((parts[1], parts[2]))
+
+    def allows(self, rule: str, rel: str) -> bool:
+        return any(r == rule and fnmatch.fnmatch(rel, g) for r, g in self.allow)
+
+
+def collect_files(paths, root: Path) -> list[Path]:
+    files: set[Path] = set()
+    for p in paths:
+        pp = Path(p)
+        if not pp.is_absolute():
+            pp = root / pp
+        if pp.is_dir():
+            files.update(f for f in pp.rglob("*") if f.suffix in SOURCE_EXTS)
+        elif pp.is_file():
+            files.add(pp)
+        else:
+            print(f"son-lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(files)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(prog="son-lint", description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("paths", nargs="*", help="files or directories (default: src bench)")
+    ap.add_argument("--root", default=None, help="repo root (default: this script's repo)")
+    ap.add_argument("--config", default=None, help="allowlist file (default: son_lint.conf next to the script)")
+    ap.add_argument("--engine", choices=["auto", "clang", "tokens"], default="auto")
+    ap.add_argument("--json", dest="json_out", default=None, help="write a JSON findings report")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule, desc in sorted(RULES.items()):
+            print(f"{rule:16} {desc}")
+        return 0
+
+    script_dir = Path(__file__).resolve().parent
+    root = Path(args.root).resolve() if args.root else script_dir.parents[1]
+    conf = Conf()
+    conf_path = Path(args.config) if args.config else script_dir / "son_lint.conf"
+    if conf_path.exists():
+        try:
+            conf.load(conf_path)
+        except ValueError as e:
+            print(f"son-lint: {e}", file=sys.stderr)
+            return 2
+
+    paths = args.paths or ["src", "bench"]
+    files = collect_files(paths, root)
+
+    cindex = None
+    if args.engine in ("auto", "clang"):
+        try:
+            from clang import cindex as _cindex  # type: ignore
+
+            cindex = _cindex
+        except Exception:
+            if args.engine == "clang":
+                print("son-lint: clang.cindex unavailable; falling back to token engine",
+                      file=sys.stderr)
+
+    findings: list[Finding] = []
+    for f in files:
+        try:
+            rel = f.resolve().relative_to(root).as_posix()
+        except ValueError:
+            rel = f.as_posix()
+        result = None
+        if cindex is not None:
+            result = check_file_clang(f, rel, conf, cindex)
+        if result is None:
+            result = check_file_tokens(f, rel, conf)
+        findings.extend(result)
+
+    findings.sort(key=lambda x: (x.file, x.line, x.rule))
+    for fd in findings:
+        print(fd)
+        if fd.snippet:
+            print(f"    | {fd.snippet}")
+
+    if args.json_out:
+        report = {
+            "version": 1,
+            "engine": "clang+tokens" if cindex is not None else "tokens",
+            "files_scanned": len(files),
+            "findings": [fd.to_json() for fd in findings],
+        }
+        Path(args.json_out).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    if findings:
+        print(f"son-lint: {len(findings)} finding(s) in {len(files)} files", file=sys.stderr)
+        return 1
+    print(f"son-lint: clean ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Self-test for son-lint: every rule fires on fixtures/violations.cpp, no
+rule fires on fixtures/clean.cpp, and the JSON report round-trips. Run
+directly or via ctest (registered as `son_lint_selftest`)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+LINT = HERE / "son_lint.py"
+EXPECTED_RULES = {
+    "wall-clock",
+    "raw-rand",
+    "std-rng",
+    "env-read",
+    "unordered-iter",
+    "ptr-key-order",
+    "float-accum",
+    "bad-suppression",
+}
+
+
+def run_lint(*args: str):
+    return subprocess.run(
+        [sys.executable, str(LINT), "--engine", "tokens", *args],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+
+
+def fail(msg: str):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as td:
+        report = Path(td) / "report.json"
+        # No allowlist: fixtures must stand on their own inline suppressions.
+        empty_conf = Path(td) / "empty.conf"
+        empty_conf.write_text("# empty\n")
+
+        r = run_lint("--config", str(empty_conf), "--json", str(report),
+                     str(HERE / "fixtures" / "violations.cpp"))
+        if r.returncode != 1:
+            fail(f"violations.cpp: expected exit 1, got {r.returncode}\n{r.stdout}{r.stderr}")
+        doc = json.loads(report.read_text())
+        fired = {f["rule"] for f in doc["findings"]}
+        missing = EXPECTED_RULES - fired
+        if missing:
+            fail(f"rules never fired on violations.cpp: {sorted(missing)}\n{r.stdout}")
+        for f in doc["findings"]:
+            if not (f["file"].endswith("violations.cpp") and f["line"] > 0):
+                fail(f"finding without file:line: {f}")
+
+        r = run_lint("--config", str(empty_conf), str(HERE / "fixtures" / "clean.cpp"))
+        if r.returncode != 0:
+            fail(f"clean.cpp: expected exit 0, got {r.returncode}\n{r.stdout}")
+
+        # The shipped allowlist must parse, and --list-rules must cover
+        # every rule the fixtures exercise.
+        r = run_lint("--list-rules")
+        if r.returncode != 0:
+            fail("--list-rules failed")
+        for rule in EXPECTED_RULES:
+            if rule not in r.stdout:
+                fail(f"--list-rules missing {rule}")
+
+    print("son-lint self-test: OK")
+
+
+if __name__ == "__main__":
+    main()
