@@ -10,9 +10,17 @@
 // its adjacent links (up/down, measured latency, measured loss). The
 // database combines both endpoints' reports into the current weighted
 // connectivity graph used by the routing level.
+//
+// Updates are incremental: per-origin reports are indexed by LinkBit (O(1)
+// report_from), apply() diffs the new advertisement against the stored one
+// and records exactly the edges whose cost inputs changed in a bounded
+// change journal, current_graph() recosts only those dirty edges, and
+// routing consumers pull the same delta through changed_edges_since() to
+// repair their shortest-path trees instead of recomputing them.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "overlay/types.hpp"
@@ -42,14 +50,22 @@ class TopologyDb {
 
   /// Integrates an advertisement. Returns true if it was newer than the
   /// stored one for that origin (callers flood it onward exactly then).
+  /// Stale or duplicate sequence numbers are rejected without a version
+  /// bump; an accepted ad bumps the version even when its content is
+  /// unchanged (the change journal then records an empty delta, so
+  /// incremental consumers do no routing work for it).
   bool apply(const LinkStateAd& ad);
 
   /// Ablation knob: when false, link_cost ignores measured loss and uses
-  /// latency alone (plain shortest-latency routing).
-  void set_loss_aware(bool aware) {
-    loss_aware_ = aware;
-    ++version_;
-  }
+  /// latency alone (plain shortest-latency routing). Journals every edge as
+  /// dirty (a mass change: consumers fall back to a full recompute).
+  void set_loss_aware(bool aware);
+
+  /// Ablation knob for bench_routing's recorded baseline: when false, the
+  /// pre-incremental pipeline is emulated — changed_edges_since() always
+  /// reports the journal as unusable (consumers full-recompute) and
+  /// current_graph() recosts every edge per version bump.
+  void set_incremental(bool incremental) { incremental_ = incremental; }
 
   [[nodiscard]] std::uint64_t version() const { return version_; }
   [[nodiscard]] std::uint64_t stored_seq(NodeId origin) const;
@@ -63,23 +79,48 @@ class TopologyDb {
 
   /// The current connectivity graph: base topology with link_cost weights
   /// (down links weighted +infinity, which every routing algorithm treats
-  /// as absent). Rebuilt lazily per version.
+  /// as absent). Recosted lazily per version — only the dirty edges.
   [[nodiscard]] const topo::Graph& current_graph() const;
   [[nodiscard]] const topo::Graph& base_graph() const { return base_; }
+
+  /// Collects into `out` the edges whose routing cost may have changed
+  /// after `since_version` (deduplicated, ascending). Returns false when
+  /// `since_version` predates the bounded change journal — the consumer
+  /// must then recompute from scratch. An empty `out` with a true return
+  /// (e.g. only duplicate-content refresh LSAs arrived) means nothing
+  /// changed.
+  [[nodiscard]] bool changed_edges_since(std::uint64_t since_version, topo::EdgeSet& out) const;
 
  private:
   struct PerOrigin {
     std::uint64_t seq = 0;
     std::vector<LinkReport> links;
+    /// LinkBit -> index into links (-1 absent); sized num_edges once the
+    /// origin has reported at least once.
+    std::vector<std::int32_t> slot_of;
   };
   [[nodiscard]] const LinkReport* report_from(NodeId origin, LinkBit b) const;
+  /// Bumps the version and journals `dirty` as that version's delta.
+  void record_change(const topo::EdgeSet& dirty);
 
   topo::Graph base_;
   std::vector<PerOrigin> by_origin_;
   bool loss_aware_ = true;
+  bool incremental_ = true;
   std::uint64_t version_ = 1;
+
+  // Change journal: entry i holds the edges dirtied by version
+  // journal_first_ + i. Bounded; consumers older than the window rebuild.
+  static constexpr std::size_t kJournalCap = 256;
+  std::deque<topo::EdgeSet> journal_;
+  std::uint64_t journal_first_ = 2;
+  topo::EdgeSet journal_spare_;
+
   mutable topo::Graph current_;
   mutable std::uint64_t current_version_ = 0;
+  mutable topo::EdgeSet dirty_scratch_;
+  mutable topo::EdgeSet recost_scratch_;
+  std::vector<LinkReport> old_links_scratch_;
 };
 
 }  // namespace son::overlay

@@ -718,7 +718,7 @@ void OverlayNode::bench_forward_lookup(const Message& msg) {
   } else {
     volatile bool dup = dedup_.seen_or_insert(msg.hdr.origin_id);
     (void)dup;
-    const auto links = router_.adjacent_mask_links(msg.hdr.mask, kInvalidLinkBit);
+    const auto& links = router_.adjacent_mask_links(msg.hdr.mask, kInvalidLinkBit);
     volatile std::size_t n = links.size();
     (void)n;
   }

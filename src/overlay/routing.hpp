@@ -1,5 +1,14 @@
 // The routing level (Fig. 2): Link-State and Source-Based routing over the
 // shared connectivity graph, plus multicast trees and anycast selection.
+//
+// Link-state forwarding state is maintained incrementally: refresh_spt()
+// pulls the dirty-edge delta from the TopologyDb's change journal and
+// repairs the shortest-path tree with topo::SptEngine (iSPF), falling back
+// to a full Dijkstra only on the first build, after the journal window, or
+// on a mass change. Next hops are resolved lazily per destination with a
+// version-stamped memo, and the per-packet answers (multicast_links,
+// adjacent_mask_links) come from reusable buffers, so steady-state
+// forwarding allocates nothing.
 #pragma once
 
 #include <map>
@@ -25,11 +34,14 @@ class Router {
   /// Links (adjacent to self) to forward a multicast message on, given the
   /// tree rooted at `tree_src` spanning the current members of `group`.
   /// `arrived_on` is excluded (kInvalidLinkBit when self originated it).
-  [[nodiscard]] std::vector<LinkBit> multicast_links(NodeId tree_src, GroupId group,
-                                                     LinkBit arrived_on);
+  /// Returns ascending link bits in a buffer reused by the next call.
+  [[nodiscard]] const std::vector<LinkBit>& multicast_links(NodeId tree_src, GroupId group,
+                                                            LinkBit arrived_on);
 
-  /// Anycast target: the nearest current member of `group` by routing cost
-  /// (lowest id on ties); kInvalidNode if the group is empty/unreachable.
+  /// Anycast target: the nearest current member of `group` by routing cost;
+  /// kInvalidNode if the group is empty/unreachable. Ties go to the lowest
+  /// node id (members are scanned ascending with a strict <), so the choice
+  /// is deterministic and independent of advertisement arrival order.
   [[nodiscard]] NodeId anycast_target(GroupId group);
 
   // ---- Source-Based routing ---------------------------------------------
@@ -37,26 +49,56 @@ class Router {
   [[nodiscard]] LinkMask source_mask(const ServiceSpec& spec, NodeId dst);
 
   /// Links adjacent to `self` that are in `mask`, excluding `arrived_on`.
-  [[nodiscard]] std::vector<LinkBit> adjacent_mask_links(LinkMask mask,
-                                                         LinkBit arrived_on) const;
+  /// Returned in a buffer reused by the next call.
+  [[nodiscard]] const std::vector<LinkBit>& adjacent_mask_links(LinkMask mask,
+                                                                LinkBit arrived_on);
 
   /// The min-cost path cost to dst (ms), for diagnostics; infinity if
   /// unreachable.
   [[nodiscard]] double path_cost_to(NodeId dst);
 
+  /// Bench/ablation knob: run the pre-incremental engine — a full Dijkstra
+  /// plus an eager whole-table next-hop rebuild on every topology change
+  /// (the recorded baseline cell in bench_routing; pair it with
+  /// TopologyDb::set_incremental(false) for the full pre-change pipeline).
+  void set_force_full_spt(bool force) { force_full_spt_ = force; }
+
+  /// Cache occupancy, exposed so tests can pin the eviction policy.
+  [[nodiscard]] std::size_t tree_cache_size() const { return tree_cache_.size(); }
+  [[nodiscard]] std::size_t mask_cache_size() const { return mask_cache_.size(); }
+
  private:
   void refresh_spt();
+  void rebuild_next_hop_table(const topo::Graph& g, std::uint64_t version);
+  /// Drops every cache entry stamped with a stale topology/group version.
+  /// Runs at most once per (topo, group) version pair.
+  void evict_stale_caches();
+  [[nodiscard]] LinkBit resolve_next_hop(topo::NodeIndex dst);
 
   NodeId self_;
   const TopologyDb& topo_db_;
   const GroupDb& group_db_;
 
-  // Shortest-path-tree cache from self (link-state next hops).
+  // Incrementally repaired shortest-path tree from self.
+  topo::SptEngine spt_;
   std::uint64_t spt_version_ = 0;
-  std::vector<LinkBit> next_hop_;  // per destination node
-  std::vector<double> dist_;
+  bool force_full_spt_ = false;
+
+  // Lazy next-hop memo: next_hop_[dst] is valid iff hop_version_[dst] equals
+  // the SPT version; resolving one destination stamps its whole parent
+  // chain, so a refresh costs only the destinations actually queried.
+  std::vector<LinkBit> next_hop_;
+  std::vector<std::uint64_t> hop_version_;
+  std::vector<topo::NodeIndex> chain_scratch_;
+
+  // Reused result buffers (no per-packet allocation).
+  std::vector<LinkBit> mcast_links_buf_;
+  std::vector<LinkBit> mask_links_buf_;
+  topo::EdgeSet delta_scratch_;
 
   // Multicast tree cache: (src, group) -> edges, stamped with both versions.
+  // Stale-stamped entries are evicted on version change, so the cache never
+  // outgrows live (src, group) pairs across long churn runs.
   struct TreeEntry {
     std::uint64_t topo_version;
     std::uint64_t group_version;
@@ -64,7 +106,8 @@ class Router {
   };
   std::map<std::pair<NodeId, GroupId>, TreeEntry> tree_cache_;
 
-  // Source-mask cache: keyed by (scheme, k/fanin/fanout, dst).
+  // Source-mask cache: keyed by (scheme, k/fanin/fanout, dst); same
+  // version-based eviction as the tree cache.
   struct MaskKey {
     RouteScheme scheme;
     std::uint8_t a;
@@ -77,6 +120,8 @@ class Router {
     LinkMask mask;
   };
   std::map<MaskKey, MaskEntry> mask_cache_;
+  std::uint64_t cache_swept_topo_ = 0;
+  std::uint64_t cache_swept_group_ = 0;
 };
 
 }  // namespace son::overlay

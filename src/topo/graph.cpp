@@ -64,6 +64,255 @@ ShortestPaths dijkstra(const Graph& g, NodeIndex src, const std::vector<bool>& d
   return sp;
 }
 
+// ---- SptEngine (iSPF) ------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kNotInHeap = static_cast<std::uint32_t>(-1);
+}
+
+bool SptEngine::heap_less(NodeIndex a, NodeIndex b) const {
+  // Tie-break on the node index so settle order — and therefore parent
+  // selection — is a pure function of the labels, never of heap history.
+  return dist_[a] < dist_[b] || (dist_[a] == dist_[b] && a < b);
+}
+
+void SptEngine::heap_sift_up(std::size_t i) {
+  const NodeIndex v = heap_[i];
+  while (i > 0) {
+    const std::size_t p = (i - 1) / 4;
+    if (!heap_less(v, heap_[p])) break;
+    heap_[i] = heap_[p];
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    i = p;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+void SptEngine::heap_sift_down(std::size_t i) {
+  const NodeIndex v = heap_[i];
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_less(heap_[c], heap_[best])) best = c;
+    }
+    if (!heap_less(heap_[best], v)) break;
+    heap_[i] = heap_[best];
+    heap_pos_[heap_[i]] = static_cast<std::uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::uint32_t>(i);
+}
+
+void SptEngine::heap_push_or_decrease(NodeIndex v) {
+  if (heap_pos_[v] == kNotInHeap) {
+    heap_.push_back(v);
+    heap_sift_up(heap_.size() - 1);
+  } else {
+    heap_sift_up(heap_pos_[v]);  // keys only ever decrease
+  }
+}
+
+NodeIndex SptEngine::heap_pop() {
+  const NodeIndex top = heap_.front();
+  heap_pos_[top] = kNotInHeap;
+  const NodeIndex tail = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_[0] = tail;
+    heap_pos_[tail] = 0;
+    heap_sift_down(0);
+  }
+  return top;
+}
+
+/// True if (dist_[u], u, e) precedes v's current parent label — the
+/// canonical tie order. Callers guarantee dist_[u] + weight(e) == dist_[v].
+bool SptEngine::tie_better(NodeIndex u, EdgeIndex e, NodeIndex v) const {
+  const NodeIndex p = parent_[v];
+  if (p == kNoNode) return true;
+  const double du = dist_[u];
+  const double dp = dist_[p];
+  return du < dp || (du == dp && (u < p || (u == p && e < parent_edge_[v])));
+}
+
+/// The settled Dijkstra main loop: pops (dist, node)-minimal entries and
+/// relaxes. A strict improvement re-labels and (re)queues; an exactly equal
+/// offer from a canonically smaller (dist, node, edge) switches the parent
+/// only — dist is unchanged, so nothing downstream moves, but the parent
+/// arrays stay bit-identical to a full recompute even through ties.
+/// Every popped node lands in touched_.
+void SptEngine::run_heap(const Graph& g) {
+  while (!heap_.empty()) {
+    const NodeIndex u = heap_pop();
+    touched_.push_back(u);
+    const double du = dist_[u];
+    for (const auto& [v, e] : g.neighbors(u)) {
+      const double nd = du + g.edge(e).weight;
+      if (nd < dist_[v]) {
+        dist_[v] = nd;
+        parent_[v] = u;
+        parent_edge_[v] = e;
+        heap_push_or_decrease(v);
+      } else if (nd == dist_[v] && nd != kInf && v != src_ && tie_better(u, e, v)) {
+        parent_[v] = u;
+        parent_edge_[v] = e;
+      }
+    }
+  }
+}
+
+/// Canonical parent: among all neighbors whose label plus the connecting
+/// edge's weight equals dist[v] exactly, the (dist, node, edge)-minimal one.
+/// For positive weights this is precisely the neighbor a full Dijkstra run
+/// would have relaxed v from, so repaired regions stay bit-identical to a
+/// fresh full compute.
+void SptEngine::canonicalize_parent(const Graph& g, NodeIndex v) {
+  if (v == src_ || dist_[v] == kInf) return;
+  NodeIndex best_u = parent_[v];
+  EdgeIndex best_e = parent_edge_[v];
+  double best_d = dist_[best_u];
+  for (const auto& [u, e] : g.neighbors(v)) {
+    const double du = dist_[u];
+    if (du == kInf) continue;
+    if (du + g.edge(e).weight != dist_[v]) continue;
+    if (du < best_d || (du == best_d && (u < best_u || (u == best_u && e < best_e)))) {
+      best_u = u;
+      best_e = e;
+      best_d = du;
+    }
+  }
+  parent_[v] = best_u;
+  parent_edge_[v] = best_e;
+}
+
+void SptEngine::adopt(const Graph& g, NodeIndex src, ShortestPaths sp) {
+  const std::size_t n = g.num_nodes();
+  src_ = src;
+  dist_ = std::move(sp.dist);
+  parent_ = std::move(sp.parent);
+  parent_edge_ = std::move(sp.parent_edge);
+  heap_.clear();
+  heap_pos_.assign(n, kNotInHeap);
+  detached_.assign(n, false);
+  touched_.clear();
+}
+
+void SptEngine::full_compute(const Graph& g, NodeIndex src) {
+  const std::size_t n = g.num_nodes();
+  src_ = src;
+  dist_.assign(n, kInf);
+  parent_.assign(n, kNoNode);
+  parent_edge_.assign(n, kNoEdge);
+  heap_.clear();
+  heap_.reserve(n);
+  heap_pos_.assign(n, kNotInHeap);
+  detached_.assign(n, false);
+  touched_.clear();
+  touched_.reserve(n);
+  dist_[src] = 0.0;
+  heap_push_or_decrease(src);
+  run_heap(g);
+}
+
+void SptEngine::update(const Graph& g, const EdgeSet& changed) {
+  touched_.clear();
+  detach_roots_.clear();
+  detached_list_.clear();
+
+  // Phase 1 — find the tree edges whose cost went up: the subtree below each
+  // is suspect (every node in it routed through the dearer edge).
+  for (const EdgeIndex e : changed) {
+    const auto& ed = g.edge(e);
+    NodeIndex child = kNoNode;
+    if (parent_edge_[ed.v] == e) {
+      child = ed.v;
+    } else if (parent_edge_[ed.u] == e) {
+      child = ed.u;
+    }
+    if (child == kNoNode) continue;
+    const NodeIndex par = parent_[child];
+    if (dist_[par] + ed.weight > dist_[child]) detach_roots_.push_back(child);
+  }
+
+  // Phase 2 — detach those subtrees (children are graph neighbors whose
+  // parent_edge is the connecting edge), then reset their labels.
+  for (const NodeIndex r : detach_roots_) {
+    if (detached_[r]) continue;  // nested under an earlier root
+    detached_[r] = true;
+    detached_list_.push_back(r);
+    for (std::size_t i = detached_list_.size() - 1; i < detached_list_.size(); ++i) {
+      const NodeIndex x = detached_list_[i];
+      for (const auto& [c, e] : g.neighbors(x)) {
+        if (!detached_[c] && parent_[c] == x && parent_edge_[c] == e) {
+          detached_[c] = true;
+          detached_list_.push_back(c);
+        }
+      }
+    }
+  }
+  // Phase 3 — seed the repair frontier: each detached node's best offer from
+  // the still-attached region (argmin computed before the single heap push),
+  // plus both directions of every changed edge (covers decreases; increases
+  // fail the strict < and cost nothing).
+  for (const NodeIndex x : detached_list_) {
+    double best_d = kInf;
+    NodeIndex best_u = kNoNode;
+    EdgeIndex best_e = kNoEdge;
+    for (const auto& [y, e] : g.neighbors(x)) {
+      if (detached_[y]) continue;
+      const double nd = dist_[y] + g.edge(e).weight;
+      if (nd < best_d) {
+        best_d = nd;
+        best_u = y;
+        best_e = e;
+      }
+    }
+    dist_[x] = best_d;
+    parent_[x] = best_u;
+    parent_edge_[x] = best_e;
+    if (best_d != kInf) heap_push_or_decrease(x);
+  }
+  for (const EdgeIndex e : changed) {
+    const auto& ed = g.edge(e);
+    const double w = ed.weight;
+    const double via_u = dist_[ed.u] + w;
+    if (via_u < dist_[ed.v]) {
+      dist_[ed.v] = via_u;
+      parent_[ed.v] = ed.u;
+      parent_edge_[ed.v] = e;
+      heap_push_or_decrease(ed.v);
+    } else if (via_u == dist_[ed.v] && via_u != kInf && ed.v != src_ &&
+               tie_better(ed.u, e, ed.v)) {
+      // The change made this edge an exactly-equal-cost alternative that the
+      // canonical order prefers: a fresh full run would route through it.
+      parent_[ed.v] = ed.u;
+      parent_edge_[ed.v] = e;
+    }
+    const double via_v = dist_[ed.v] + w;
+    if (via_v < dist_[ed.u]) {
+      dist_[ed.u] = via_v;
+      parent_[ed.u] = ed.v;
+      parent_edge_[ed.u] = e;
+      heap_push_or_decrease(ed.u);
+    } else if (via_v == dist_[ed.u] && via_v != kInf && ed.u != src_ &&
+               tie_better(ed.v, e, ed.u)) {
+      parent_[ed.u] = ed.v;
+      parent_edge_[ed.u] = e;
+    }
+  }
+  for (const NodeIndex x : detached_list_) detached_[x] = false;
+
+  // Phase 4 — settle, then pin canonical parents for everything repaired.
+  run_heap(g);
+  for (const NodeIndex t : touched_) canonicalize_parent(g, t);
+}
+
 std::optional<Path> extract_path(const ShortestPaths& sp, NodeIndex src, NodeIndex dst) {
   if (sp.dist[dst] == kInf) return std::nullopt;
   Path p;

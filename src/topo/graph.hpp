@@ -63,6 +63,70 @@ struct ShortestPaths {
 [[nodiscard]] ShortestPaths dijkstra(const Graph& g, NodeIndex src,
                                      const std::vector<bool>& disabled_nodes = {});
 
+/// Incremental single-source shortest paths (iSPF, as in production
+/// link-state routers): maintains dist/parent/parent_edge from a fixed
+/// source across edge *weight* changes (the structure is fixed; a +infinity
+/// weight models an absent/down link, which is how the overlay's TopologyDb
+/// encodes failures). update() repairs only the affected part of the tree —
+/// subtrees hanging off increased tree edges are detached and re-attached by
+/// a Dijkstra seeded at the detach frontier plus the decreased edges — so an
+/// LSA that changes one link costs work proportional to the affected
+/// subtree, not to the graph. The 4-ary heap and every scratch vector are
+/// reused across calls: steady-state updates allocate nothing.
+///
+/// Determinism contract: after any sequence of update() calls the three
+/// result arrays are bit-identical to a fresh dijkstra() on the same
+/// weights (graphs with strictly positive finite weights; pinned by the
+/// randomized-churn property tests). Equal-cost ties resolve to the parent
+/// minimizing (dist[parent], parent, edge) — provably the relaxation winner
+/// of a full run when weights are positive.
+class SptEngine {
+ public:
+  /// Full rebuild — plain Dijkstra from `src` into the reused buffers.
+  void full_compute(const Graph& g, NodeIndex src);
+
+  /// Installs an externally computed dijkstra() result as the current tree
+  /// (used by the pre-incremental baseline emulation in Router).
+  void adopt(const Graph& g, NodeIndex src, ShortestPaths sp);
+
+  /// Repairs the tree after the weights of `changed` (deduplicated) were
+  /// already updated in `g`. Requires a prior full_compute() against a
+  /// graph with the same structure and source.
+  void update(const Graph& g, const EdgeSet& changed);
+
+  [[nodiscard]] bool built() const { return src_ != kNoNode; }
+  [[nodiscard]] NodeIndex source() const { return src_; }
+  [[nodiscard]] const std::vector<double>& dist() const { return dist_; }
+  [[nodiscard]] const std::vector<NodeIndex>& parent() const { return parent_; }
+  [[nodiscard]] const std::vector<EdgeIndex>& parent_edge() const { return parent_edge_; }
+  /// Nodes re-settled by the last update() (diagnostics / benchmarks).
+  [[nodiscard]] std::size_t last_update_touched() const { return touched_.size(); }
+
+ private:
+  [[nodiscard]] bool heap_less(NodeIndex a, NodeIndex b) const;
+  [[nodiscard]] bool tie_better(NodeIndex u, EdgeIndex e, NodeIndex v) const;
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  void heap_push_or_decrease(NodeIndex v);
+  NodeIndex heap_pop();
+  void run_heap(const Graph& g);
+  void canonicalize_parent(const Graph& g, NodeIndex v);
+
+  NodeIndex src_ = kNoNode;
+  std::vector<double> dist_;
+  std::vector<NodeIndex> parent_;
+  std::vector<EdgeIndex> parent_edge_;
+
+  // Reused scratch: 4-ary min-heap on (dist_, node) with position tracking
+  // for decrease-key, the subtree-detach worklist, and the touched set.
+  std::vector<NodeIndex> heap_;
+  std::vector<std::uint32_t> heap_pos_;
+  std::vector<NodeIndex> detach_roots_;
+  std::vector<NodeIndex> detached_list_;
+  std::vector<std::uint8_t> detached_;  // byte flags: no bit-RMW in the hot BFS
+  std::vector<NodeIndex> touched_;
+};
+
 /// Extracts src→dst path from a Dijkstra result; nullopt if unreachable.
 [[nodiscard]] std::optional<Path> extract_path(const ShortestPaths& sp, NodeIndex src,
                                                NodeIndex dst);
