@@ -10,11 +10,15 @@
 // Wall-clock rates land under run.timings (machine-dependent); event and
 // delivery counters are deterministic scalars checked across --jobs values.
 #include <chrono>
+#include <cstdio>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "net/internet.hpp"
+#include "obs/recorder.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "topo/backbones.hpp"
@@ -189,13 +193,25 @@ struct CbrSource {
     d.dst_port = 9000;
     d.size_bytes = 1200;
     d.payload = body;
-    net.send(std::move(d));
+    const std::uint64_t id = net.send(std::move(d));
+    SON_OBS(obs::kSystemNode, obs::Category::kMark, 0, id, src);
     net.simulator().schedule(gap, [this]() { tick(); });
   }
 };
 
-exp::Metrics forward_4isp(Duration traffic_time, int pps, std::uint64_t seed) {
+exp::Metrics forward_4isp(Duration traffic_time, int pps, std::uint64_t seed,
+                          const std::string& record_out) {
+  // Optional flight recording (--record). Deterministic scalars must stay
+  // identical with or without it — GoldenRun.TracingIsInert pins the same
+  // property on the full scenario.
+  std::unique_ptr<obs::Recorder> rec;
+  std::optional<obs::ScopedRecorder> rec_scope;
+  if (!record_out.empty()) {
+    rec = std::make_unique<obs::Recorder>(0, std::size_t{1} << 17);
+    rec_scope.emplace(*rec);
+  }
   sim::Simulator sim;
+  if (rec) rec->attach(sim);
   net::Internet net{sim, sim::Rng{seed}};
   const QuadIsp q = build_quad_isp(net);
 
@@ -224,6 +240,9 @@ exp::Metrics forward_4isp(Duration traffic_time, int pps, std::uint64_t seed) {
   m.scalar("events", static_cast<double>(sim.events_fired()));
   m.timing("pkts_per_sec", static_cast<double>(ctr.sent) / wall);
   m.timing("events_per_sec", static_cast<double>(sim.events_fired()) / wall);
+  if (rec != nullptr && !rec->write(record_out)) {
+    std::fprintf(stderr, "simcore: failed to write trace to %s\n", record_out.c_str());
+  }
   return m;
 }
 
@@ -263,9 +282,14 @@ int main(int argc, char** argv) {
     p["hosts"] = std::uint64_t{12};
     p["pps_per_host"] = static_cast<std::uint64_t>(pps);
     p["traffic_s"] = traffic_time.to_seconds_f();
-    ex.add_cell("forward", std::move(p), [traffic_time, pps](std::uint64_t seed) {
-      return forward_4isp(traffic_time, pps, seed);
-    });
+    // Only the first replication records (one trace file, deterministic
+    // choice); the rest run exactly the same workload without a recorder.
+    ex.add_cell("forward", std::move(p),
+                [traffic_time, pps, record = opts.record_out,
+                 rec_seed = opts.seed_for(0)](std::uint64_t seed) {
+                  return forward_4isp(traffic_time, pps, seed,
+                                      seed == rec_seed ? record : std::string{});
+                });
   }
   const exp::Report report = ex.run();
 

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "exp/runner.hpp"
+#include "obs/counters.hpp"
 
 namespace son::exp {
 
@@ -94,7 +95,18 @@ Report Experiment::run() const {
     for (int rep = 0; rep < reps; ++rep) {
       const std::uint64_t seed = opts_.seed_for(rep);
       cell.seeds.push_back(seed);
-      trials.push_back(Trial{def.label, [fn = def.fn, seed]() { return fn(seed); }});
+      // Every trial runs under its own counter registry (thread-local, so
+      // parallel trials never share slots); the snapshot is folded into the
+      // Metrics in name order, which keeps reports identical at any --jobs.
+      trials.push_back(Trial{def.label, [fn = def.fn, seed]() {
+                               obs::CounterRegistry registry;
+                               obs::ScopedCounterRegistry scope{registry};
+                               Metrics m = fn(seed);
+                               for (const auto& [name, v] : registry.entries()) {
+                                 m.counter(name, v);
+                               }
+                               return m;
+                             }});
       cell_of_trial.push_back(ci);
     }
     report.cells_.push_back(std::move(cell));

@@ -1,5 +1,7 @@
 #include "exp/metrics.hpp"
 
+#include <algorithm>
+
 namespace son::exp {
 
 void CellAggregate::absorb(const Metrics& m) {
@@ -15,6 +17,15 @@ void CellAggregate::absorb(const Metrics& m) {
     }
   }
   for (const auto& [name, v] : m.timings()) timings_[name].add(v);
+  for (const auto& [name, v] : m.counters()) {
+    auto [it, inserted] = counters_.try_emplace(name, CounterAgg{1, v, v, v});
+    if (inserted) continue;
+    CounterAgg& agg = it->second;
+    ++agg.n;
+    agg.sum += v;
+    agg.min = std::min(agg.min, v);
+    agg.max = std::max(agg.max, v);
+  }
 }
 
 const sim::OnlineStats& CellAggregate::scalar(const std::string& name) const {
@@ -38,6 +49,11 @@ const sim::SampleSet& CellAggregate::samples(const std::string& name) const {
 const sim::Histogram* CellAggregate::hist(const std::string& name) const {
   const auto it = hists_.find(name);
   return it == hists_.end() ? nullptr : &it->second;
+}
+
+CellAggregate::CounterAgg CellAggregate::counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? CounterAgg{} : it->second;
 }
 
 namespace {
@@ -92,6 +108,17 @@ Json CellAggregate::metrics_json() const {
   if (!hists_.empty()) {
     Json& s = j["histograms"];
     for (const auto& [name, h] : hists_) s[name] = hist_json(h);
+  }
+  if (!counters_.empty()) {
+    Json& s = j["counters"];
+    for (const auto& [name, c] : counters_) {
+      Json jc = Json::object();
+      jc["n"] = c.n;
+      jc["sum"] = c.sum;
+      jc["min"] = c.min;
+      jc["max"] = c.max;
+      s[name] = std::move(jc);
+    }
   }
   return j;
 }

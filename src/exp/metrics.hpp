@@ -32,7 +32,15 @@ class Metrics {
   /// deterministic results section of the report.
   void timing(const std::string& name, double v) { timings_[name] = v; }
 
+  /// One observability-counter value for this trial (monotonic; exact
+  /// integers). Experiment::run snapshots the trial's obs::CounterRegistry
+  /// in here automatically, so benches rarely call this directly.
+  void counter(const std::string& name, std::uint64_t v) { counters_[name] = v; }
+
   [[nodiscard]] const std::map<std::string, double>& scalars() const { return scalars_; }
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
   [[nodiscard]] const std::map<std::string, sim::SampleSet>& sample_sets() const {
     return samples_;
   }
@@ -44,6 +52,7 @@ class Metrics {
   std::map<std::string, sim::SampleSet> samples_;
   std::map<std::string, sim::Histogram> hists_;
   std::map<std::string, double> timings_;
+  std::map<std::string, std::uint64_t> counters_;
 };
 
 /// All trials of one parameter cell, folded together.
@@ -67,6 +76,24 @@ class CellAggregate {
   /// Merged histogram, or nullptr if never recorded.
   [[nodiscard]] const sim::Histogram* hist(const std::string& name) const;
 
+  /// Exact-integer cross-trial fold of one counter (sum/min/max are computed
+  /// in uint64, never through floating point — counter sums stay exact and
+  /// order-independent).
+  struct CounterAgg {
+    std::uint64_t n = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+  };
+  /// Aggregate of a counter; zero-valued if never recorded.
+  [[nodiscard]] CounterAgg counter(const std::string& name) const;
+  [[nodiscard]] std::uint64_t counter_sum(const std::string& name) const {
+    return counter(name).sum;
+  }
+  [[nodiscard]] const std::map<std::string, CounterAgg>& counter_map() const {
+    return counters_;
+  }
+
   /// Deterministic part of the aggregate (scalars + samples + histograms).
   [[nodiscard]] Json metrics_json() const;
   /// Machine-dependent part (timings), or a null Json if there are none.
@@ -78,6 +105,7 @@ class CellAggregate {
   std::map<std::string, sim::SampleSet> samples_;
   std::map<std::string, sim::Histogram> hists_;
   std::map<std::string, sim::OnlineStats> timings_;
+  std::map<std::string, CounterAgg> counters_;
 };
 
 }  // namespace son::exp

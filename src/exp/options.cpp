@@ -18,6 +18,7 @@ namespace {
       "  --json-out P    write the JSON report to P (default BENCH_%s.json)\n"
       "  --no-json       do not write a JSON report\n"
       "  --quick         reduced durations/replications (CI smoke mode)\n"
+      "  --record P      write a flight-recorder trace of one trial to P\n"
       "  --help          this message\n",
       defaults.bench.c_str(), defaults.reps,
       static_cast<unsigned long long>(defaults.seed_base), defaults.bench.c_str());
@@ -87,6 +88,8 @@ Options Options::parse(int& argc, char** argv, std::string bench_name, int defau
       o.seeds = parse_seed_list(value(), o);
     } else if (std::strcmp(arg, "--json-out") == 0) {
       o.json_out = value();
+    } else if (std::strcmp(arg, "--record") == 0) {
+      o.record_out = value();
     } else if (std::strcmp(arg, "--no-json") == 0) {
       o.write_json = false;
     } else if (std::strcmp(arg, "--quick") == 0) {

@@ -8,6 +8,7 @@
 //   --json-out P    report path (default BENCH_<name>.json in the cwd)
 //   --no-json       skip writing the report
 //   --quick         reduced durations/replications for CI smoke runs
+//   --record P      write a flight-recorder trace of one trial to P
 #pragma once
 
 #include <cstdint>
@@ -25,6 +26,9 @@ struct Options {
   bool quick = false;
   bool write_json = true;
   std::string json_out;  // empty = default path
+  /// Non-empty: the bench should record one representative trial with the
+  /// flight recorder and write the trace here (inspect with tools/son-trace).
+  std::string record_out;
 
   /// Parses and REMOVES recognized flags from argv (unrecognized arguments
   /// stay, so google-benchmark flags etc. pass through). Prints usage and

@@ -4,13 +4,22 @@
 #include <cassert>
 #include <limits>
 #include <queue>
+#include <string>
 
+#include "obs/recorder.hpp"
 #include "sim/check.hpp"
 
 namespace son::net {
 
 Internet::Internet(sim::Simulator& sim, sim::Rng rng, Config cfg)
-    : sim_{sim}, rng_{rng}, cfg_{cfg} {}
+    : sim_{sim}, rng_{rng}, cfg_{cfg} {
+  obs_sent_ = obs::counter("net.sent");
+  obs_delivered_ = obs::counter("net.delivered");
+  for (std::size_t r = 0; r < kNumDropReasons; ++r) {
+    obs_dropped_[r] =
+        obs::counter(std::string("net.drop.") + to_string(static_cast<DropReason>(r)));
+  }
+}
 
 Internet::Internet(sim::Simulator& sim, sim::Rng rng) : Internet{sim, rng, Config{}} {}
 
@@ -199,6 +208,7 @@ std::uint64_t Internet::send(Datagram d, const SendOptions& opts) {
   assert(d.src < hosts_.size() && d.dst < hosts_.size());
   d.id = next_packet_id_++;
   ++counters_.sent;
+  obs_sent_.add();
 
   AttachIndex si = 0, di = 0;
   IspId constraint = kInvalidIsp;
@@ -280,6 +290,7 @@ void Internet::deliver(const Datagram& d, AttachIndex) {
   const auto it = h.port_handlers.find(d.dst_port);
   if (it != h.port_handlers.end()) {
     ++counters_.delivered;
+    obs_delivered_.add();
     it->second(d);
     return;
   }
@@ -288,11 +299,15 @@ void Internet::deliver(const Datagram& d, AttachIndex) {
     return;
   }
   ++counters_.delivered;
+  obs_delivered_.add();
   h.handler(d);
 }
 
 void Internet::drop(const Datagram& d, DropReason reason) {
   ++counters_.dropped[static_cast<std::size_t>(reason)];
+  obs_dropped_[static_cast<std::size_t>(reason)].add();
+  SON_OBS(obs::kSystemNode, obs::Category::kDrop, reason, d.id,
+          (static_cast<std::uint64_t>(d.src) << 32) | d.dst);
   if (tracer_.enabled(sim::TraceLevel::kDebug)) {
     trace(sim::TraceLevel::kDebug, "drop pkt " + std::to_string(d.id) + " " +
                                        hosts_[d.src].name + "->" + hosts_[d.dst].name + ": " +

@@ -21,6 +21,7 @@
 #include "net/link.hpp"
 #include "net/packet.hpp"
 #include "net/types.hpp"
+#include "obs/counters.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -210,6 +211,12 @@ class Internet {
   std::map<sim::TimePoint, std::vector<std::function<void()>>> pending_convergence_;
   std::uint64_t next_packet_id_ = 1;
   Counters counters_;
+  // Observability: null-safe handles into the thread's counter registry (if
+  // one was installed when this Internet was constructed). Write-only — the
+  // simulation never reads them back.
+  obs::Counter obs_sent_;
+  obs::Counter obs_delivered_;
+  obs::Counter obs_dropped_[kNumDropReasons];
 };
 
 }  // namespace son::net

@@ -1,0 +1,23 @@
+#include "obs/counters.hpp"
+
+namespace son::obs {
+namespace {
+
+thread_local CounterRegistry* g_current = nullptr;
+
+}  // namespace
+
+CounterRegistry* CounterRegistry::current() { return g_current; }
+
+Counter counter(const std::string& name) {
+  CounterRegistry* reg = CounterRegistry::current();
+  return reg != nullptr ? Counter(reg->slot(name)) : Counter();
+}
+
+ScopedCounterRegistry::ScopedCounterRegistry(CounterRegistry& reg) : previous_(g_current) {
+  g_current = &reg;
+}
+
+ScopedCounterRegistry::~ScopedCounterRegistry() { g_current = previous_; }
+
+}  // namespace son::obs

@@ -1,0 +1,85 @@
+// Named counter registry for protocol/overlay/underlay instrumentation.
+//
+// A CounterRegistry owns a sorted map of name → uint64 slot. Instrumented
+// code asks once for a Counter handle (a raw slot pointer — std::map node
+// addresses are stable) and bumps it with plain integer adds on the hot
+// path; a handle obtained while no registry is installed is null and add()
+// is a no-op. Snapshots iterate the map in name order, so exported JSON and
+// cross-trial merges are deterministic by construction.
+//
+// Like the Recorder, installation is scoped and thread-local: one registry
+// per experiment trial, no cross-thread sharing, nothing fed back into the
+// simulation (counters are write-only observation — the inertness contract).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace son::obs {
+
+class CounterRegistry {
+ public:
+  /// The registry installed on this thread, or nullptr.
+  [[nodiscard]] static CounterRegistry* current();
+
+  /// Returns the slot for `name`, creating it at zero on first use. The
+  /// returned pointer stays valid for the registry's lifetime.
+  [[nodiscard]] std::uint64_t* slot(const std::string& name) { return &counters_[name]; }
+
+  /// All counters in name order (deterministic snapshot order).
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> entries() const {
+    return {counters_.begin(), counters_.end()};
+  }
+
+  [[nodiscard]] std::uint64_t value(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it != counters_.end() ? it->second : 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return counters_.size(); }
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+/// Null-safe handle over one registry slot. Cheap to copy; add() on a
+/// default-constructed (or registry-less) handle is a no-op.
+class Counter {
+ public:
+  Counter() = default;
+  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+
+  void add(std::uint64_t delta = 1) {
+    if (slot_ != nullptr) *slot_ += delta;
+  }
+  /// Gauge-style overwrite (e.g. high-water marks snapshotted at run end).
+  void set(std::uint64_t value) {
+    if (slot_ != nullptr) *slot_ = value;
+  }
+  [[nodiscard]] bool live() const { return slot_ != nullptr; }
+
+ private:
+  std::uint64_t* slot_ = nullptr;
+};
+
+/// Handle for `name` in this thread's current registry; null handle if no
+/// registry is installed. Call at component construction time, not per event.
+[[nodiscard]] Counter counter(const std::string& name);
+
+/// Installs a registry as this thread's current one for the scope's
+/// lifetime; restores the previous one on destruction.
+class ScopedCounterRegistry {
+ public:
+  explicit ScopedCounterRegistry(CounterRegistry& reg);
+  ~ScopedCounterRegistry();
+  ScopedCounterRegistry(const ScopedCounterRegistry&) = delete;
+  ScopedCounterRegistry& operator=(const ScopedCounterRegistry&) = delete;
+
+ private:
+  CounterRegistry* previous_;
+};
+
+}  // namespace son::obs

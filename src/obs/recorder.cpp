@@ -1,0 +1,125 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+namespace son::obs {
+namespace {
+
+// Thread-local so each experiment trial (one trial per worker thread) can
+// install its own recorder without any cross-thread coordination.
+thread_local Recorder* g_current = nullptr;
+
+constexpr char kMagic[8] = {'S', 'O', 'N', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+
+struct TraceHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t record_size;
+  std::uint64_t count;
+};
+static_assert(std::is_trivially_copyable_v<TraceHeader>);
+static_assert(sizeof(TraceHeader) == 24);
+
+}  // namespace
+
+Recorder::Recorder(std::size_t num_nodes, std::size_t ring_capacity)
+    : num_nodes_(num_nodes), capacity_(ring_capacity == 0 ? 1 : ring_capacity) {
+  rings_.resize(num_nodes_ + 1);
+  for (Ring& r : rings_) r.buf.resize(capacity_);
+}
+
+Recorder* Recorder::current() { return g_current; }
+
+std::vector<EventRecord> Recorder::merged() const {
+  // Collect each ring's live records in write order (oldest first), then
+  // stable-sort by time. Stability preserves per-ring order, and seeding the
+  // input in ring-index order makes time ties resolve by node index — fully
+  // deterministic for a deterministic run.
+  std::vector<EventRecord> out;
+  out.reserve(static_cast<std::size_t>(total_recorded() - overwritten()));
+  for (const Ring& r : rings_) {
+    const std::uint64_t live = std::min<std::uint64_t>(r.written, capacity_);
+    const std::uint64_t start = r.written - live;
+    for (std::uint64_t i = 0; i < live; ++i) {
+      out.push_back(r.buf[static_cast<std::size_t>((start + i) % capacity_)]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const EventRecord& x, const EventRecord& y) { return x.t_ns < y.t_ns; });
+  return out;
+}
+
+PathTrace Recorder::path(std::uint64_t origin_id) const {
+  PathTrace trace;
+  trace.origin_id = origin_id;
+  for (const EventRecord& e : merged()) {
+    if (e.category != static_cast<std::uint8_t>(Category::kPath) || e.a != origin_id) continue;
+    PathHop hop;
+    hop.time = sim::TimePoint::from_ns(e.t_ns);
+    hop.node = e.node;
+    hop.kind = static_cast<HopKind>(e.code);
+    hop.link = unpack3_hi(e.b);
+    hop.proto = unpack3_mid(e.b);
+    hop.detail = unpack3_lo(e.b);
+    trace.hops.push_back(hop);
+  }
+  return trace;
+}
+
+std::uint64_t Recorder::total_recorded() const {
+  std::uint64_t total = 0;
+  for (const Ring& r : rings_) total += r.written;
+  return total;
+}
+
+std::uint64_t Recorder::overwritten() const {
+  std::uint64_t lost = 0;
+  for (const Ring& r : rings_) {
+    if (r.written > capacity_) lost += r.written - capacity_;
+  }
+  return lost;
+}
+
+bool Recorder::write(const std::string& path) const {
+  const std::vector<EventRecord> records = merged();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  TraceHeader hdr{};
+  std::memcpy(hdr.magic, kMagic, sizeof(kMagic));
+  hdr.version = kVersion;
+  hdr.record_size = sizeof(EventRecord);
+  hdr.count = records.size();
+  out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+  if (!records.empty()) {
+    out.write(reinterpret_cast<const char*>(records.data()),
+              static_cast<std::streamsize>(records.size() * sizeof(EventRecord)));
+  }
+  return static_cast<bool>(out);
+}
+
+std::optional<std::vector<EventRecord>> Recorder::read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  TraceHeader hdr{};
+  in.read(reinterpret_cast<char*>(&hdr), sizeof(hdr));
+  if (!in || std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0 || hdr.version != kVersion ||
+      hdr.record_size != sizeof(EventRecord)) {
+    return std::nullopt;
+  }
+  std::vector<EventRecord> records(static_cast<std::size_t>(hdr.count));
+  if (hdr.count != 0) {
+    in.read(reinterpret_cast<char*>(records.data()),
+            static_cast<std::streamsize>(records.size() * sizeof(EventRecord)));
+    if (!in) return std::nullopt;
+  }
+  return records;
+}
+
+ScopedRecorder::ScopedRecorder(Recorder& rec) : previous_(g_current) { g_current = &rec; }
+
+ScopedRecorder::~ScopedRecorder() { g_current = previous_; }
+
+}  // namespace son::obs

@@ -1,0 +1,166 @@
+// Deterministic flight recorder: per-node ring buffers of POD EventRecords.
+//
+// Memory model: the constructor preallocates one fixed-size ring per overlay
+// node plus one shared "system" ring; record() writes in place and never
+// allocates, so enabling the recorder cannot perturb the simulation (no
+// events, no RNG draws, no heap traffic on the hot path). When a ring fills,
+// the oldest records are overwritten (a flight recorder keeps the recent
+// past; `overwritten()` reports how much history was lost).
+//
+// Installation is scoped and thread-local: each experiment trial runs on one
+// worker thread and installs its own recorder via ScopedRecorder, so
+// parallel trials never share state. Code records through the SON_OBS /
+// SON_OBS_PATH macros, which compile to a single thread-local load + branch
+// when no recorder is installed.
+//
+// Inertness contract: recording is write-only observation. Nothing in this
+// class schedules events, draws randomness, or feeds values back into the
+// simulation — GoldenRun.TracingIsInert pins this (identical delivery hash
+// with the recorder on and off).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/record.hpp"
+#include "sim/simulator.hpp"
+
+namespace son::obs {
+
+/// One overlay hop of a sampled message, decoded from a kPath record.
+struct PathHop {
+  sim::TimePoint time;
+  std::uint16_t node = 0;
+  HopKind kind = HopKind::kOrigin;
+  std::uint8_t link = 0xFF;    // overlay LinkBit (0xFF = none)
+  std::uint8_t proto = 0;      // overlay LinkProtocol
+  std::uint8_t detail = 0;     // per-kind extra (drop reason, ...)
+};
+
+/// The hop timeline of one sampled origin_id, in record order.
+struct PathTrace {
+  std::uint64_t origin_id = 0;
+  std::vector<PathHop> hops;
+
+  [[nodiscard]] bool empty() const { return hops.empty(); }
+};
+
+class Recorder {
+ public:
+  /// Preallocates `num_nodes` + 1 rings (the extra one is the shared system
+  /// ring) of `ring_capacity` records each.
+  Recorder(std::size_t num_nodes, std::size_t ring_capacity);
+
+  /// The recorder installed on this thread, or nullptr. This is THE hot-path
+  /// check: SON_OBS is one thread-local load and branch when disabled.
+  [[nodiscard]] static Recorder* current();
+
+  /// Time source for records. Until attached, records carry t_ns = 0.
+  void attach(const sim::Simulator& sim) { sim_ = &sim; }
+
+  /// Appends one record to `node`'s ring (node >= num_nodes → system ring).
+  /// Never allocates.
+  void record(std::uint16_t node, Category cat, std::uint8_t code, std::uint64_t a,
+              std::uint64_t b) {
+    Ring& r = rings_[node < num_nodes_ ? node : num_nodes_];
+    EventRecord& e = r.buf[static_cast<std::size_t>(r.written % capacity_)];
+    e.t_ns = sim_ != nullptr ? sim_->now().ns() : 0;
+    e.a = a;
+    e.b = b;
+    e.node = node;
+    e.category = static_cast<std::uint8_t>(cat);
+    e.code = code;
+    e.reserved = 0;
+    ++r.written;
+  }
+
+  /// Path-hop record for a sampled message; no-op unless `origin_id` is
+  /// sampled (see sample_origin / set_sample_all).
+  void record_path(std::uint64_t origin_id, std::uint16_t node, HopKind kind,
+                   std::uint64_t packed) {
+    if (!sampled(origin_id)) return;
+    record(node, Category::kPath, static_cast<std::uint8_t>(kind), origin_id, packed);
+  }
+
+  // ---- Path sampling ----------------------------------------------------
+  /// Adds one origin_id to the sampled set. Allocates (call at setup time,
+  /// not from simulation callbacks).
+  void sample_origin(std::uint64_t origin_id) { sampled_.insert(origin_id); }
+  void set_sample_all(bool all) { sample_all_ = all; }
+  [[nodiscard]] bool sampled(std::uint64_t origin_id) const {
+    return sample_all_ || sampled_.contains(origin_id);
+  }
+
+  // ---- Post-hoc queries (run end; allocation is fine here) --------------
+  /// All rings merged into one chronological stream: sorted by time, ties
+  /// broken by node index (system ring last), then by per-ring write order.
+  /// Deterministic for a deterministic run.
+  [[nodiscard]] std::vector<EventRecord> merged() const;
+
+  /// Hop timeline of one sampled message, extracted from merged().
+  [[nodiscard]] PathTrace path(std::uint64_t origin_id) const;
+
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  /// Records lost to ring wrap-around (oldest history overwritten).
+  [[nodiscard]] std::uint64_t overwritten() const;
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::size_t ring_capacity() const { return capacity_; }
+
+  /// Writes merged() as a binary trace file (magic + version + records).
+  /// Returns false on I/O failure.
+  [[nodiscard]] bool write(const std::string& path) const;
+  /// Reads a trace file written by write(); nullopt on open/format errors.
+  [[nodiscard]] static std::optional<std::vector<EventRecord>> read(const std::string& path);
+
+ private:
+  friend class ScopedRecorder;
+
+  struct Ring {
+    std::vector<EventRecord> buf;
+    std::uint64_t written = 0;  // total records ever written to this ring
+  };
+
+  const sim::Simulator* sim_ = nullptr;
+  std::size_t num_nodes_;
+  std::size_t capacity_;
+  std::vector<Ring> rings_;  // [0..num_nodes_) per node, [num_nodes_] system
+  std::unordered_set<std::uint64_t> sampled_;
+  bool sample_all_ = false;
+};
+
+/// Installs a recorder as this thread's current one for the scope's lifetime;
+/// restores the previous recorder (usually nullptr) on destruction.
+class ScopedRecorder {
+ public:
+  explicit ScopedRecorder(Recorder& rec);
+  ~ScopedRecorder();
+  ScopedRecorder(const ScopedRecorder&) = delete;
+  ScopedRecorder& operator=(const ScopedRecorder&) = delete;
+
+ private:
+  Recorder* previous_;
+};
+
+}  // namespace son::obs
+
+/// Record an event iff a recorder is installed on this thread. Arguments are
+/// NOT evaluated when recording is off — the disabled cost is one
+/// thread-local load and a branch.
+#define SON_OBS(node, cat, code, a, b)                                          \
+  do {                                                                          \
+    if (::son::obs::Recorder* son_obs_r_ = ::son::obs::Recorder::current()) {   \
+      son_obs_r_->record((node), (cat), static_cast<std::uint8_t>(code), (a),   \
+                         (b));                                                  \
+    }                                                                           \
+  } while (0)
+
+/// Record one overlay hop of a sampled message (no-op for unsampled ids).
+#define SON_OBS_PATH(origin_id, node, hop, packed)                              \
+  do {                                                                          \
+    if (::son::obs::Recorder* son_obs_r_ = ::son::obs::Recorder::current()) {   \
+      son_obs_r_->record_path((origin_id), (node), (hop), (packed));            \
+    }                                                                           \
+  } while (0)

@@ -51,7 +51,15 @@ struct LinkProtocolConfig {
   std::size_t reliable_window = 4096;      // max unacked messages buffered
   double rto_multiplier = 2.0;             // RTO = multiplier * SRTT
   sim::Duration min_rto = sim::Duration::milliseconds(5);
+  /// Per-entry exponential-backoff ceiling: an unacked message doubles its
+  /// RTO on every timer expiry up to this cap, so a dead peer is probed at a
+  /// bounded rate instead of retransmitted at a constant rate forever.
+  sim::Duration max_rto = sim::Duration::seconds(2);
   sim::Duration ack_delay = sim::Duration::milliseconds(2);
+  /// Cap on explicit nacks carried per ack frame. A large reordering gap
+  /// would otherwise enumerate the whole window into one frame; lower seqs
+  /// are nacked first, and later acks cover the rest as the gap shrinks.
+  std::size_t max_nacks_per_ack = 64;
   /// The paper's design: "intermediate nodes are permitted to forward
   /// packets out of order" (§III-A). false = hold out-of-order arrivals at
   /// every hop until the gap fills (TCP-splice-like); ablation knob showing

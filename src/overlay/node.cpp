@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/recorder.hpp"
+
 namespace son::overlay {
 
 namespace {
@@ -49,7 +51,10 @@ class NodeLinkContext final : public LinkContext {
   [[nodiscard]] LinkBit link() const override { return bit_; }
   [[nodiscard]] bool authenticate() const override { return node_.cfg_.authenticate; }
   [[nodiscard]] const crypto::KeyTable* keys() const override { return node_.keys_.get(); }
-  void count_protocol_drop(LinkProtocol) override { ++node_.stats_.protocol_drops; }
+  void count_protocol_drop(LinkProtocol) override {
+    ++node_.stats_.protocol_drops;
+    node_.obs_protocol_drops_.add();
+  }
 
  private:
   OverlayNode& node_;
@@ -89,6 +94,12 @@ OverlayNode::OverlayNode(sim::Simulator& sim, net::Internet& internet, net::Host
   }
   internet_.bind(host_, cfg_.daemon_port,
                  [this](const net::Datagram& d) { on_datagram(d); });
+  obs_failovers_ = obs::counter("overlay.link.failovers");
+  obs_no_route_ = obs::counter("overlay.route.no_route");
+  obs_ttl_expired_ = obs::counter("overlay.route.ttl_expired");
+  obs_dedup_dropped_ = obs::counter("overlay.dedup.dropped");
+  obs_compromised_dropped_ = obs::counter("overlay.route.compromised_dropped");
+  obs_protocol_drops_ = obs::counter("overlay.link.protocol_drops");
 }
 
 OverlayNode::~OverlayNode() {
@@ -216,12 +227,16 @@ bool OverlayNode::client_send(ClientEndpoint& client, const Destination& dest, P
   }
 
   ++stats_.originated;
+  SON_OBS_PATH(msg.hdr.origin_id, id_, obs::HopKind::kOrigin,
+               obs::pack3(0xFF, static_cast<std::uint8_t>(msg.hdr.link_protocol), 0));
   const bool admitted = route_message(std::move(msg), kInvalidLinkBit);
   if (!admitted) ++stats_.send_blocked;
   return admitted;
 }
 
 void OverlayNode::deliver_to_session(const Message& msg) {
+  SON_OBS_PATH(msg.hdr.origin_id, id_, obs::HopKind::kDeliver,
+               obs::pack3(0xFF, static_cast<std::uint8_t>(msg.hdr.link_protocol), 0));
   if (msg.hdr.ordered) {
     auto it = reorder_.find(msg.hdr.flow_key);
     if (it == reorder_.end()) {
@@ -310,6 +325,9 @@ bool OverlayNode::route_message_impl(Message msg, LinkBit arrived_on, bool skip_
   if (transit) {
     if (msg.hdr.hops >= 32) {
       ++stats_.ttl_expired;
+      obs_ttl_expired_.add();
+      SON_OBS(id_, obs::Category::kRoute, obs::RouteEvent::kTtlExpired, msg.hdr.origin_id, 0);
+      SON_OBS_PATH(msg.hdr.origin_id, id_, obs::HopKind::kDropTtl, obs::pack3(arrived_on, 0, 0));
       return true;
     }
     ++msg.hdr.hops;
@@ -324,6 +342,9 @@ bool OverlayNode::route_message_impl(Message msg, LinkBit arrived_on, bool skip_
       if (compromise_.blackhole_transit ||
           (compromise_.drop_probability > 0 && rng_.bernoulli(compromise_.drop_probability))) {
         ++stats_.compromised_dropped;
+        obs_compromised_dropped_.add();
+        SON_OBS_PATH(msg.hdr.origin_id, id_, obs::HopKind::kDropCompromised,
+                     obs::pack3(arrived_on, 0, 0));
         return true;  // silently swallowed
       }
       if (compromise_.added_delay > sim::Duration::zero()) {
@@ -354,6 +375,10 @@ bool OverlayNode::route_message_impl(Message msg, LinkBit arrived_on, bool skip_
       const LinkBit nh = router_.next_hop(msg.hdr.dest.node);
       if (nh == kInvalidLinkBit) {
         ++stats_.no_route;
+        obs_no_route_.add();
+        SON_OBS(id_, obs::Category::kRoute, obs::RouteEvent::kNoRoute, msg.hdr.dest.node, 0);
+        SON_OBS_PATH(msg.hdr.origin_id, id_, obs::HopKind::kDropNoRoute,
+                     obs::pack3(arrived_on, 0, 0));
         return true;  // accepted but undeliverable right now
       }
       return forward_on(nh, msg);
@@ -364,6 +389,9 @@ bool OverlayNode::route_message_impl(Message msg, LinkBit arrived_on, bool skip_
     case RouteScheme::kFlooding: {
       if (dedup_.seen_or_insert(msg.hdr.origin_id)) {
         ++stats_.dedup_dropped;
+        obs_dedup_dropped_.add();
+        SON_OBS_PATH(msg.hdr.origin_id, id_, obs::HopKind::kDropDedup,
+                     obs::pack3(arrived_on, 0, 0));
         return true;
       }
       const bool for_me =
@@ -385,6 +413,8 @@ bool OverlayNode::forward_on(LinkBit link, const Message& msg) {
   NeighborLink* nl = link_by_bit(link);
   if (nl == nullptr) return false;
   ++stats_.forwarded;
+  SON_OBS_PATH(msg.hdr.origin_id, id_, obs::HopKind::kForward,
+               obs::pack3(link, static_cast<std::uint8_t>(msg.hdr.link_protocol), 0));
   return endpoint(*nl, msg.hdr.link_protocol).send(msg);
 }
 
@@ -593,6 +623,9 @@ void OverlayNode::evaluate_link(NeighborLink& nl) {
   }
   if (best != -1 && best != nl.active_channel) {
     ++stats_.link_failovers;
+    obs_failovers_.add();
+    SON_OBS(id_, obs::Category::kLink, obs::LinkEvent::kFailover, nl.spec.link,
+            static_cast<std::uint64_t>(best));
     if (tracer_.enabled(sim::TraceLevel::kInfo)) {
       trace(sim::TraceLevel::kInfo,
             "link " + std::to_string(nl.spec.link) + " failover to channel " +

@@ -12,6 +12,7 @@
 
 #include "crypto/keys.hpp"
 #include "net/internet.hpp"
+#include "obs/counters.hpp"
 #include "overlay/compromise.hpp"
 #include "overlay/dedup.hpp"
 #include "overlay/frame.hpp"
@@ -312,6 +313,14 @@ class OverlayNode {
   bool started_ = false;
 
   NodeStats stats_;
+  // Observability: null-safe handles into the thread's counter registry.
+  // Nodes share slots by name, so these aggregate across the whole overlay.
+  obs::Counter obs_failovers_;
+  obs::Counter obs_no_route_;
+  obs::Counter obs_ttl_expired_;
+  obs::Counter obs_dedup_dropped_;
+  obs::Counter obs_compromised_dropped_;
+  obs::Counter obs_protocol_drops_;
 };
 
 }  // namespace son::overlay

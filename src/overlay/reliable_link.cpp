@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/recorder.hpp"
+
 namespace son::overlay {
 
 // ---- Best effort -----------------------------------------------------------
@@ -43,7 +45,7 @@ bool ReliableLinkEndpoint::send(Message msg) {
     return false;
   }
   const std::uint64_t seq = next_seq_++;
-  unacked_.emplace(seq, Unacked{msg, ctx_.simulator().now(), 1});
+  unacked_.emplace(seq, Unacked{msg, ctx_.simulator().now(), 1, rto()});
   transmit_data(seq, msg, false);
   arm_retransmit_timer();
   return true;
@@ -61,14 +63,33 @@ void ReliableLinkEndpoint::transmit_data(std::uint64_t seq, const Message& msg, 
   ctx_.send_frame(std::move(f));
   if (retrans) {
     ++stats_.retransmissions;
+    obs_retransmissions_.add();
+    SON_OBS(ctx_.self(), obs::Category::kLink, obs::LinkEvent::kRetransmit, seq, 0);
   } else {
     ++stats_.data_sent;
   }
 }
 
+sim::TimePoint ReliableLinkEndpoint::next_rto_deadline() const {
+  sim::TimePoint earliest = sim::TimePoint::max();
+  for (const auto& [seq, u] : unacked_) {
+    earliest = std::min(earliest, u.last_sent + u.rto);
+  }
+  return earliest;
+}
+
 void ReliableLinkEndpoint::arm_retransmit_timer() {
-  if (retransmit_timer_ != sim::kInvalidEventId || unacked_.empty()) return;
-  retransmit_timer_ = ctx_.simulator().schedule(rto(), [this]() {
+  if (unacked_.empty()) return;
+  // Arm for the EARLIEST per-entry deadline, not a full rto() from now: an
+  // entry that just missed a sweep must wait only its own residual timeout,
+  // not up to ~2x RTO behind a freshly re-armed timer.
+  const sim::TimePoint due = next_rto_deadline();
+  if (retransmit_timer_ != sim::kInvalidEventId) {
+    if (retransmit_deadline_ <= due) return;  // early fire just re-arms
+    ctx_.simulator().cancel(retransmit_timer_);
+  }
+  retransmit_deadline_ = due;
+  retransmit_timer_ = ctx_.simulator().schedule_at(due, [this]() {
     retransmit_timer_ = sim::kInvalidEventId;
     on_retransmit_timer();
   });
@@ -76,11 +97,19 @@ void ReliableLinkEndpoint::arm_retransmit_timer() {
 
 void ReliableLinkEndpoint::on_retransmit_timer() {
   const sim::TimePoint now = ctx_.simulator().now();
-  const sim::Duration timeout = rto();
   for (auto& [seq, u] : unacked_) {
-    if (now - u.last_sent >= timeout) {
+    if (now - u.last_sent >= u.rto) {
       u.last_sent = now;
       ++u.sends;
+      // Exponential backoff, capped: a blackholed peer is probed at a
+      // bounded rate instead of a constant one forever.
+      const sim::Duration next = std::min(u.rto * 2, cfg_.max_rto);
+      if (next > u.rto) {
+        obs_rto_backoffs_.add();
+        SON_OBS(ctx_.self(), obs::Category::kLink, obs::LinkEvent::kRtoBackoff, seq,
+                static_cast<std::uint64_t>(next.ns()));
+      }
+      u.rto = next;
       transmit_data(seq, u.msg, true);
     }
   }
@@ -90,6 +119,30 @@ void ReliableLinkEndpoint::on_retransmit_timer() {
 void ReliableLinkEndpoint::handle_ack(const LinkFrame& f) {
   // Cumulative ack.
   unacked_.erase(unacked_.begin(), unacked_.upper_bound(f.cum_ack));
+  // SACK inference. The nack walk in send_ack() enumerates EVERY hole up to
+  // its bound, so a seq in (cum_ack, bound] that is absent from f.ids was in
+  // the peer's out-of-order set — received, just not yet covered by the
+  // cumulative ack. Retire those entries: RTO-retransmitting a packet the
+  // peer already holds is pure waste (it shows up as a duplicate), and a
+  // burst loss below them would otherwise spuriously fire a whole run of
+  // per-entry timers. The bound is f.seq (the peer's highest seq seen) when
+  // the nack list was not truncated by the cap; otherwise only holes up to
+  // the last listed nack are known exhaustively.
+  const std::uint64_t sack_bound =
+      f.ids.size() < cfg_.max_nacks_per_ack ? f.seq
+                                            : (f.ids.empty() ? 0 : f.ids.back());
+  if (sack_bound > f.cum_ack) {
+    auto nack = f.ids.begin();
+    for (auto it = unacked_.begin(); it != unacked_.end() && it->first <= sack_bound;) {
+      while (nack != f.ids.end() && *nack < it->first) ++nack;
+      if (nack != f.ids.end() && *nack == it->first) {
+        ++it;  // still a hole at the peer: keep tracking
+      } else {
+        ++stats_.sacked;
+        it = unacked_.erase(it);
+      }
+    }
+  }
   // Explicit nacks: retransmit immediately.
   const sim::TimePoint now = ctx_.simulator().now();
   for (const std::uint64_t seq : f.ids) {
@@ -162,9 +215,26 @@ void ReliableLinkEndpoint::send_ack() {
   f.proto = LinkProtocol::kReliable;
   f.type = FrameType::kAck;
   f.cum_ack = recv_cum_;
-  // Nack every hole between the cumulative point and the highest seen.
-  for (std::uint64_t s = recv_cum_ + 1; s <= recv_max_; ++s) {
-    if (!recv_ooo_.contains(s)) f.ids.push_back(s);
+  // Highest seq seen: together with the exhaustive nack list below this lets
+  // the sender infer which out-of-order seqs we already hold (SACK).
+  f.seq = recv_max_;
+  // Nack the holes between the cumulative point and the highest seen by
+  // walking the gaps of the out-of-order set — O(holes), not O(window).
+  // (recv_max_ is always a member of recv_ooo_ whenever it exceeds
+  // recv_cum_, so the gap walk covers exactly the old per-seq scan.)
+  // Capped per frame: lower seqs first, later acks cover the rest.
+  const std::size_t cap = cfg_.max_nacks_per_ack;
+  std::uint64_t prev = recv_cum_;
+  for (auto it = recv_ooo_.begin(); it != recv_ooo_.end() && f.ids.size() < cap; ++it) {
+    for (std::uint64_t s = prev + 1; s < *it && f.ids.size() < cap; ++s) {
+      f.ids.push_back(s);
+    }
+    prev = *it;
+  }
+  if (!f.ids.empty()) {
+    obs_nack_batches_.add();
+    SON_OBS(ctx_.self(), obs::Category::kLink, obs::LinkEvent::kNackBatch, f.ids.size(),
+            recv_cum_);
   }
   ctx_.send_frame(std::move(f));
 }

@@ -13,6 +13,7 @@
 #include <map>
 #include <set>
 
+#include "obs/counters.hpp"
 #include "overlay/link_protocols.hpp"
 
 namespace son::overlay {
@@ -29,7 +30,10 @@ class BestEffortEndpoint final : public LinkProtocolEndpoint {
 class ReliableLinkEndpoint final : public LinkProtocolEndpoint {
  public:
   ReliableLinkEndpoint(LinkContext& ctx, const LinkProtocolConfig& cfg)
-      : LinkProtocolEndpoint(ctx, cfg) {}
+      : LinkProtocolEndpoint(ctx, cfg),
+        obs_retransmissions_{obs::counter("overlay.reliable.retransmissions")},
+        obs_nack_batches_{obs::counter("overlay.reliable.nack_batches")},
+        obs_rto_backoffs_{obs::counter("overlay.reliable.rto_backoffs")} {}
   ~ReliableLinkEndpoint() override;
 
   bool send(Message msg) override;
@@ -41,6 +45,10 @@ class ReliableLinkEndpoint final : public LinkProtocolEndpoint {
     std::uint64_t retransmissions = 0;
     std::uint64_t duplicates_received = 0;
     std::uint64_t delivered_up = 0;
+    /// Entries retired by SACK inference: the peer reported them received
+    /// out of order, so they stopped being RTO candidates before the
+    /// cumulative ack caught up.
+    std::uint64_t sacked = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
@@ -50,16 +58,24 @@ class ReliableLinkEndpoint final : public LinkProtocolEndpoint {
     Message msg;
     sim::TimePoint last_sent;
     std::uint32_t sends = 0;
+    /// This entry's current timeout. Starts at rto() on first send and
+    /// doubles per expiry up to cfg_.max_rto (exponential backoff).
+    sim::Duration rto = sim::Duration::zero();
   };
   void transmit_data(std::uint64_t seq, const Message& msg, bool retrans);
   void arm_retransmit_timer();
   void on_retransmit_timer();
   void handle_ack(const LinkFrame& f);
   [[nodiscard]] sim::Duration rto() const;
+  /// Earliest last_sent + rto across unacked_ (must be non-empty).
+  [[nodiscard]] sim::TimePoint next_rto_deadline() const;
 
   std::uint64_t next_seq_ = 1;
   std::map<std::uint64_t, Unacked> unacked_;
   sim::EventId retransmit_timer_ = sim::kInvalidEventId;
+  /// When the armed retransmit timer fires; lets a new send with an earlier
+  /// deadline re-arm instead of waiting behind a backed-off entry.
+  sim::TimePoint retransmit_deadline_;
 
   // --- Receiver role ---
   void handle_data(const LinkFrame& f);
@@ -74,6 +90,9 @@ class ReliableLinkEndpoint final : public LinkProtocolEndpoint {
   sim::EventId ack_timer_ = sim::kInvalidEventId;
 
   Stats stats_;
+  obs::Counter obs_retransmissions_;
+  obs::Counter obs_nack_batches_;
+  obs::Counter obs_rto_backoffs_;
 };
 
 }  // namespace son::overlay

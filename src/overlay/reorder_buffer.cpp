@@ -6,6 +6,7 @@ void ReorderBuffer::push(Message msg) {
   const std::uint64_t seq = msg.hdr.flow_seq;
   if (seq < next_seq_) {
     ++stats_.late_discarded;
+    obs_late_.add();
     return;
   }
   if (held_.contains(seq)) {
@@ -20,6 +21,8 @@ void ReorderBuffer::push(Message msg) {
     return;
   }
   held_.emplace(seq, Held{std::move(msg), sim_.now()});
+  arrivals_.emplace_back(seq, sim_.now());
+  obs_held_.add();
   arm_timer();
 }
 
@@ -33,12 +36,24 @@ void ReorderBuffer::drain() {
   if (held_.empty() && timer_ != sim::kInvalidEventId) {
     sim_.cancel(timer_);
     timer_ = sim::kInvalidEventId;
+    arrivals_.clear();
+  }
+}
+
+void ReorderBuffer::prune_arrivals() {
+  while (!arrivals_.empty() && !held_.contains(arrivals_.front().first)) {
+    arrivals_.pop_front();
   }
 }
 
 void ReorderBuffer::arm_timer() {
-  if (timer_ != sim::kInvalidEventId || held_.empty()) return;
-  const sim::TimePoint due = held_.begin()->second.arrived + max_hold_;
+  if (timer_ != sim::kInvalidEventId) return;
+  prune_arrivals();
+  if (arrivals_.empty()) return;
+  // Deadline of the longest-waiting held message. Arrival times are
+  // monotone, so an armed timer can only be early (harmless: on_timer
+  // re-arms), never late.
+  const sim::TimePoint due = arrivals_.front().second + max_hold_;
   timer_ = sim_.schedule_at(due, [this]() {
     timer_ = sim::kInvalidEventId;
     on_timer();
@@ -47,12 +62,20 @@ void ReorderBuffer::arm_timer() {
 
 void ReorderBuffer::on_timer() {
   const sim::TimePoint now = sim_.now();
-  // Skip past any gap whose oldest held successor has waited out max_hold.
-  while (!held_.empty() && now - held_.begin()->second.arrived >= max_hold_) {
-    const std::uint64_t gap_end = held_.begin()->first;
-    stats_.skipped_missing += gap_end - next_seq_;
-    next_seq_ = gap_end;
-    drain();
+  prune_arrivals();
+  while (!arrivals_.empty() && now - arrivals_.front().second >= max_hold_) {
+    // The longest-waiting held message has outlived max_hold: give up on
+    // every gap below it. Deliver all held entries up to and including its
+    // seq, in order, counting the abandoned gaps as skipped.
+    const std::uint64_t expired_seq = arrivals_.front().first;
+    while (!held_.empty() && held_.begin()->first <= expired_seq) {
+      const std::uint64_t gap_end = held_.begin()->first;
+      stats_.skipped_missing += gap_end - next_seq_;
+      obs_skipped_.add(gap_end - next_seq_);
+      next_seq_ = gap_end;
+      drain();
+    }
+    prune_arrivals();
   }
   arm_timer();
 }

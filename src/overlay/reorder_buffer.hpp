@@ -8,9 +8,12 @@
 // it and stragglers are dropped as late.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
+#include <utility>
 
+#include "obs/counters.hpp"
 #include "overlay/message.hpp"
 #include "sim/simulator.hpp"
 
@@ -21,7 +24,12 @@ class ReorderBuffer {
   using DeliverFn = std::function<void(const Message&)>;
 
   ReorderBuffer(sim::Simulator& sim, sim::Duration max_hold, DeliverFn deliver)
-      : sim_{sim}, max_hold_{max_hold}, deliver_{std::move(deliver)} {}
+      : sim_{sim},
+        max_hold_{max_hold},
+        deliver_{std::move(deliver)},
+        obs_held_{obs::counter("overlay.reorder.held")},
+        obs_skipped_{obs::counter("overlay.reorder.skipped_missing")},
+        obs_late_{obs::counter("overlay.reorder.late_discarded")} {}
   ~ReorderBuffer() { sim_.cancel(timer_); }
   ReorderBuffer(const ReorderBuffer&) = delete;
   ReorderBuffer& operator=(const ReorderBuffer&) = delete;
@@ -47,14 +55,27 @@ class ReorderBuffer {
   void drain();
   void arm_timer();
   void on_timer();
+  /// Drops front entries whose seq is no longer held (already delivered).
+  void prune_arrivals();
 
   sim::Simulator& sim_;
   sim::Duration max_hold_;
   DeliverFn deliver_;
   std::uint64_t next_seq_ = 1;
-  std::map<std::uint64_t, Held> held_;
+  std::map<std::uint64_t, Held> held_;  // ordered by seq
+  /// Hold deadlines in ARRIVAL order — held_ is ordered by seq, so its first
+  /// entry is the lowest sequence, not the longest-waiting message. The skip
+  /// timer must fire at oldest_arrival + max_hold; tracking arrivals
+  /// separately keeps a late-arriving low-seq retransmission from resetting
+  /// the effective deadline of older held messages. Arrival times are
+  /// monotone and each seq is pushed at most once (duplicates and
+  /// already-delivered seqs are rejected), so lazy front-pruning is exact.
+  std::deque<std::pair<std::uint64_t, sim::TimePoint>> arrivals_;
   sim::EventId timer_ = sim::kInvalidEventId;
   Stats stats_;
+  obs::Counter obs_held_;
+  obs::Counter obs_skipped_;
+  obs::Counter obs_late_;
 };
 
 }  // namespace son::overlay

@@ -9,6 +9,8 @@
 #include <cstdint>
 
 #include "net/internet.hpp"
+#include "obs/counters.hpp"
+#include "obs/recorder.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "topo/backbones.hpp"
@@ -137,6 +139,30 @@ TEST(GoldenRun, IndependentOfHashTableLayout) {
     EXPECT_EQ(r.delivery_hash, base.delivery_hash) << "buckets=" << buckets;
     EXPECT_EQ(r.last_delivery_ns, base.last_delivery_ns) << "buckets=" << buckets;
   }
+}
+
+// The flight recorder's inertness contract: observation is write-only.
+// Running the identical scenario with a recorder (sampling every message)
+// and a counter registry installed must reproduce the exact pinned baseline
+// — no extra events, RNG draws, or allocation-order effects.
+TEST(GoldenRun, TracingIsInert) {
+  obs::Recorder rec{64, 1 << 12};
+  rec.set_sample_all(true);
+  obs::ScopedRecorder rscope{rec};
+  obs::CounterRegistry reg;
+  obs::ScopedCounterRegistry cscope{reg};
+
+  const GoldenResult r = run_golden_scenario();
+  EXPECT_EQ(r.sent, 10002u);
+  EXPECT_EQ(r.delivered, 8527u);
+  EXPECT_EQ(r.dropped_total, 1475u);
+  EXPECT_EQ(r.delivery_hash, 18392688617230050064ULL);
+  EXPECT_EQ(r.last_delivery_ns, 5024211977);
+  // ...while actually observing: the underlay recorded its drops and the
+  // registry mirrored the Internet counters exactly.
+  EXPECT_GT(rec.total_recorded(), 0u);
+  EXPECT_EQ(reg.value("net.sent"), r.sent);
+  EXPECT_EQ(reg.value("net.delivered"), r.delivered);
 }
 
 TEST(GoldenRun, BackToBackRunsAreIdentical) {

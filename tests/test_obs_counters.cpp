@@ -1,0 +1,103 @@
+// Counter registry: null-safe handles, scoped thread-local install, and the
+// exp integration — every trial runs inside its own registry and the
+// aggregated counter section of a report is bit-identical at any --jobs.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "obs/counters.hpp"
+#include "sim/random.hpp"
+
+namespace son::obs {
+namespace {
+
+TEST(ObsCounters, HandleIsNoOpWithoutRegistry) {
+  ASSERT_EQ(CounterRegistry::current(), nullptr);
+  Counter c = counter("orphan");
+  EXPECT_FALSE(c.live());
+  c.add();     // must be a harmless no-op
+  c.set(42);
+}
+
+TEST(ObsCounters, RegistersAndSnapshotsInNameOrder) {
+  CounterRegistry reg;
+  ScopedCounterRegistry scope{reg};
+  Counter b = counter("b.count");
+  Counter a = counter("a.count");
+  EXPECT_TRUE(a.live());
+  b.add(2);
+  a.add();
+  b.add();
+  EXPECT_EQ(reg.value("a.count"), 1u);
+  EXPECT_EQ(reg.value("b.count"), 3u);
+  EXPECT_EQ(reg.value("never.touched"), 0u);
+  const auto e = reg.entries();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0].first, "a.count");  // name order, not registration order
+  EXPECT_EQ(e[1].first, "b.count");
+}
+
+TEST(ObsCounters, ScopedInstallNestsAndRestores) {
+  ASSERT_EQ(CounterRegistry::current(), nullptr);
+  CounterRegistry outer;
+  {
+    ScopedCounterRegistry s1{outer};
+    EXPECT_EQ(CounterRegistry::current(), &outer);
+    CounterRegistry inner;
+    {
+      ScopedCounterRegistry s2{inner};
+      EXPECT_EQ(CounterRegistry::current(), &inner);
+      counter("x").add();
+    }
+    EXPECT_EQ(CounterRegistry::current(), &outer);
+    EXPECT_EQ(inner.value("x"), 1u);
+    EXPECT_EQ(outer.value("x"), 0u);
+  }
+  EXPECT_EQ(CounterRegistry::current(), nullptr);
+}
+
+// Trials bump counters in a seed-dependent way. Experiment::run installs a
+// fresh registry around every trial on whichever worker thread executes it,
+// so the counter section of the deterministic report must not depend on the
+// thread count.
+exp::Report run_counter_experiment(unsigned jobs) {
+  exp::Options o;
+  o.bench = "obs_selftest";
+  o.reps = 4;
+  o.jobs = jobs;
+  o.seed_base = 500;
+  o.write_json = false;
+  exp::Experiment ex{o};
+  for (const int cell : {0, 1}) {
+    ex.add_cell("cell" + std::to_string(cell), exp::Json::object(),
+                [cell](std::uint64_t seed) {
+                  sim::Rng rng{seed + static_cast<std::uint64_t>(cell) * 131};
+                  Counter retrans = counter("proto.retransmissions");
+                  Counter drops = counter("net.drops");
+                  const auto n = 50 + rng.uniform_int(0, 50);
+                  for (std::int64_t i = 0; i < n; ++i) retrans.add();
+                  drops.add(static_cast<std::uint64_t>(rng.uniform_int(0, 9)));
+                  exp::Metrics m;
+                  m.scalar("n", static_cast<double>(n));
+                  return m;
+                });
+  }
+  return ex.run();
+}
+
+TEST(ObsCounters, ExperimentSnapshotsAreIdenticalAcrossJobCounts) {
+  const exp::Report serial = run_counter_experiment(1);
+  const exp::Report wide = run_counter_experiment(8);
+  EXPECT_EQ(serial.jobs(), 1u);
+  EXPECT_EQ(wide.jobs(), 8u);
+  EXPECT_EQ(serial.results_json(), wide.results_json());
+  // The counters really flowed into the aggregate and into the JSON.
+  const auto agg = serial.cell("cell0").counter("proto.retransmissions");
+  EXPECT_EQ(agg.n, 4u);
+  EXPECT_GE(agg.min, 50u);
+  EXPECT_LE(agg.max, 100u);
+  EXPECT_GE(agg.sum, agg.min * 4);
+  EXPECT_NE(serial.results_json().find("proto.retransmissions"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace son::obs

@@ -1,0 +1,178 @@
+// son-trace: dump / filter / summarize flight-recorder trace files.
+//
+//   son-trace summary TRACE              per-category and per-code counts
+//   son-trace dump TRACE [--category C] [--node N] [--limit K]
+//   son-trace path TRACE ORIGIN_ID       hop timeline of one sampled message
+//
+// Traces are written by obs::Recorder::write (bench `--record` flag, or any
+// test/scenario that installs a recorder). The file is a flat array of the
+// 32-byte EventRecord wire format behind a small header, so this tool stays
+// trivially forward-compatible with new category codes: unknown codes print
+// numerically.
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/record.hpp"
+#include "obs/recorder.hpp"
+
+namespace {
+
+using son::obs::Category;
+using son::obs::EventRecord;
+using son::obs::HopKind;
+using son::obs::LinkEvent;
+using son::obs::RouteEvent;
+
+const char* code_name(std::uint8_t category, std::uint8_t code) {
+  switch (static_cast<Category>(category)) {
+    case Category::kLink:
+      return to_string(static_cast<LinkEvent>(code));
+    case Category::kRoute:
+      return to_string(static_cast<RouteEvent>(code));
+    case Category::kPath:
+      return to_string(static_cast<HopKind>(code));
+    default:
+      return nullptr;
+  }
+}
+
+void print_record(const EventRecord& e) {
+  const Category cat = static_cast<Category>(e.category);
+  const char* code = code_name(e.category, e.code);
+  std::printf("%14.6fms node=%-5u %-6s ", static_cast<double>(e.t_ns) / 1e6,
+              e.node, to_string(cat));
+  if (code != nullptr) {
+    std::printf("%-18s", code);
+  } else {
+    std::printf("code=%-13u", e.code);
+  }
+  std::printf(" a=%" PRIu64 " b=%" PRIu64 "\n", e.a, e.b);
+}
+
+int cmd_summary(const std::vector<EventRecord>& records) {
+  // code histogram per category; map keys give a stable print order.
+  std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint64_t> by_code;
+  std::map<std::uint16_t, std::uint64_t> by_node;
+  std::int64_t t_min = 0, t_max = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const EventRecord& e = records[i];
+    ++by_code[{e.category, e.code}];
+    ++by_node[e.node];
+    if (i == 0 || e.t_ns < t_min) t_min = e.t_ns;
+    if (i == 0 || e.t_ns > t_max) t_max = e.t_ns;
+  }
+  std::printf("records: %zu\n", records.size());
+  if (!records.empty()) {
+    std::printf("span: %.6fms .. %.6fms\n", static_cast<double>(t_min) / 1e6,
+                static_cast<double>(t_max) / 1e6);
+  }
+  std::printf("\nby category/code:\n");
+  for (const auto& [key, count] : by_code) {
+    const char* code = code_name(key.first, key.second);
+    if (code != nullptr) {
+      std::printf("  %-6s %-18s %" PRIu64 "\n",
+                  to_string(static_cast<Category>(key.first)), code, count);
+    } else {
+      std::printf("  %-6s code=%-13u %" PRIu64 "\n",
+                  to_string(static_cast<Category>(key.first)), key.second, count);
+    }
+  }
+  std::printf("\nby node (top 10):\n");
+  std::vector<std::pair<std::uint64_t, std::uint16_t>> nodes;
+  for (const auto& [node, count] : by_node) nodes.emplace_back(count, node);
+  std::sort(nodes.rbegin(), nodes.rend());
+  for (std::size_t i = 0; i < nodes.size() && i < 10; ++i) {
+    if (nodes[i].second == son::obs::kSystemNode) {
+      std::printf("  system %" PRIu64 "\n", nodes[i].first);
+    } else {
+      std::printf("  %-6u %" PRIu64 "\n", nodes[i].second, nodes[i].first);
+    }
+  }
+  return 0;
+}
+
+int cmd_dump(const std::vector<EventRecord>& records, int argc, char** argv) {
+  int category = -1;
+  long node = -1;
+  std::uint64_t limit = UINT64_MAX;
+  for (int i = 0; i < argc; ++i) {
+    const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
+    if (std::strcmp(argv[i], "--category") == 0) {
+      const std::string want = value();
+      for (std::uint8_t c = 0; c < son::obs::kNumCategories; ++c) {
+        if (want == to_string(static_cast<Category>(c))) category = c;
+      }
+      if (category < 0) {
+        std::fprintf(stderr, "unknown category '%s'\n", want.c_str());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--node") == 0) {
+      node = std::strtol(value(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--limit") == 0) {
+      limit = std::strtoull(value(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown dump option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  std::uint64_t shown = 0;
+  for (const EventRecord& e : records) {
+    if (category >= 0 && e.category != category) continue;
+    if (node >= 0 && e.node != node) continue;
+    if (shown++ >= limit) break;
+    print_record(e);
+  }
+  return 0;
+}
+
+int cmd_path(const std::vector<EventRecord>& records, std::uint64_t origin_id) {
+  std::uint64_t hops = 0;
+  for (const EventRecord& e : records) {
+    if (e.category != static_cast<std::uint8_t>(Category::kPath) || e.a != origin_id) continue;
+    ++hops;
+    const auto kind = static_cast<HopKind>(e.code);
+    const std::uint8_t link = son::obs::unpack3_hi(e.b);
+    std::printf("%14.6fms node=%-5u %-18s", static_cast<double>(e.t_ns) / 1e6, e.node,
+                to_string(kind));
+    if (link != 0xFF) std::printf(" link=%u", link);
+    std::printf("\n");
+  }
+  if (hops == 0) {
+    std::fprintf(stderr, "no path records for origin_id %" PRIu64
+                         " (was it sampled when recording?)\n", origin_id);
+    return 1;
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: son-trace summary TRACE\n"
+               "       son-trace dump TRACE [--category C] [--node N] [--limit K]\n"
+               "       son-trace path TRACE ORIGIN_ID\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  const auto records = son::obs::Recorder::read(argv[2]);
+  if (!records) {
+    std::fprintf(stderr, "son-trace: cannot read trace file '%s'\n", argv[2]);
+    return 1;
+  }
+  if (cmd == "summary") return cmd_summary(*records);
+  if (cmd == "dump") return cmd_dump(*records, argc - 3, argv + 3);
+  if (cmd == "path") {
+    if (argc < 4) return usage();
+    return cmd_path(*records, std::strtoull(argv[3], nullptr, 0));
+  }
+  return usage();
+}
