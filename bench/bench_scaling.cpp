@@ -15,6 +15,7 @@
 #include "bench_common.hpp"
 #include "client/traffic.hpp"
 #include "overlay/network.hpp"
+#include "overlay/sharded.hpp"
 
 namespace {
 
@@ -95,6 +96,86 @@ exp::Metrics run(std::size_t n, Duration traffic_time, int recompute_iters,
   return m;
 }
 
+// ---- Sharded-kernel scaling -------------------------------------------------
+//
+// The 12-site continental map, one partition per city, driven hard: the full
+// overlay protocol plus 24 CBR flows criss-crossing the map. Identical work
+// at every worker count — the deterministic digest column proves it — so the
+// wall-clock column isolates what the conservative-parallel kernel buys.
+exp::Metrics run_sharded(unsigned workers, Duration dur, std::uint64_t seed) {
+  overlay::ShardedMapOptions sopts;
+  sopts.workers = workers;
+  auto fx = overlay::build_sharded_map(topo::continental_us(), sopts, seed);
+  const std::size_t n = fx.underlay.hosts.size();
+
+  std::vector<std::uint64_t> hash(n, 1469598103934665603ULL);
+  const auto mix = [](std::uint64_t& h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    fx.internet->bind(fx.underlay.hosts[i], 7, [&hash, &fx, mix, i](const net::Datagram& d) {
+      mix(hash[i], d.id);
+      mix(hash[i],
+          static_cast<std::uint64_t>(fx.node_sim(static_cast<overlay::NodeId>(i)).now().ns()));
+    });
+  }
+
+  fx.settle(1_s);
+  const TimePoint t0 = fx.kernel->now();
+
+  struct Flow {
+    net::Internet& net;
+    sim::Simulator& sim;
+    net::HostId src, dst;
+    TimePoint stop;
+    void tick() {
+      if (sim.now() >= stop) return;
+      net::Datagram d;
+      d.src = src;
+      d.dst = dst;
+      d.dst_port = 7;
+      d.size_bytes = 1400;
+      net.send(std::move(d));
+      sim.schedule(1_ms, [this]() { tick(); });
+    }
+  };
+  std::vector<std::unique_ptr<Flow>> flows;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t hop : {std::size_t{3}, std::size_t{6}}) {
+      auto& sim = fx.node_sim(static_cast<overlay::NodeId>(i));
+      flows.push_back(std::make_unique<Flow>(Flow{*fx.internet, sim, fx.underlay.hosts[i],
+                                                  fx.underlay.hosts[(i + hop) % n], t0 + dur}));
+      sim.schedule_at(t0 + Duration::microseconds(41 * (flows.size())),
+                      [f = flows.back().get()]() { f->tick(); });
+    }
+  }
+
+  const std::uint64_t fired0 = fx.kernel->events_fired();
+  const auto w0 = std::chrono::steady_clock::now();
+  fx.kernel->run_until(t0 + dur + 500_ms);
+  const auto w1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(w1 - w0).count();
+
+  std::uint64_t digest = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) mix(digest, hash[i]);
+
+  exp::Metrics m;
+  // Deterministic columns: identical at every worker count (the runtime leg
+  // of the kernel's 1 == K contract, visible right in the report).
+  m.scalar("delivered", static_cast<double>(fx.internet->counters().delivered));
+  m.scalar("digest32", static_cast<double>((digest >> 32) ^ (digest & 0xFFFFFFFFULL)));
+  // Machine-dependent columns live under timings.
+  m.timing("wall_s", wall_s);
+  m.timing("events_per_wall_s",
+           static_cast<double>(fx.kernel->events_fired() - fired0) / wall_s);
+  m.timing("flows_per_wall_s",
+           static_cast<double>(fx.internet->counters().delivered) / wall_s);
+  return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -118,6 +199,21 @@ int main(int argc, char** argv) {
                   return run(n, traffic_time, recompute_iters, seed + n);  // legacy 900+n
                 });
   }
+
+  // Sharded-kernel cells: worker counts 1, 2, 4, ... up to --shards (resolved;
+  // default 1 keeps the default run single-threaded). Same seed for every
+  // cell — the digest column must be identical across worker counts.
+  std::vector<unsigned> shard_counts{1};
+  for (unsigned k = 2; k <= opts.resolved_shards(); k *= 2) shard_counts.push_back(k);
+  const Duration shard_dur = opts.quick ? 2_s : 8_s;
+  for (const unsigned k : shard_counts) {
+    exp::Json params = exp::Json::object();
+    params["workers"] = static_cast<std::uint64_t>(k);
+    params["partitions"] = static_cast<std::uint64_t>(12);
+    ex.add_cell("shards=" + std::to_string(k), std::move(params),
+                [k, shard_dur](std::uint64_t seed) { return run_sharded(k, shard_dur, seed); });
+  }
+
   const exp::Report report = ex.run();
 
   bench::Table t{{"nodes", "links", "ctl frames/s/node", "recompute us", "reroute ms"}, 18};
@@ -130,6 +226,23 @@ int main(int argc, char** argv) {
     t.cell(c.timing_mean("recompute_us"), "%.2f");
     t.cell(c.scalar_mean("reroute_gap_ms"), "%.0f");
     t.end_row();
+  }
+  bench::note("");
+  bench::note("Sharded kernel on the 12-site continental map (one partition per city,");
+  bench::note("overlay protocol + 24 CBR flows). digest32 must match across rows — the");
+  bench::note("worker count is a pure wall-clock knob. Speedup is wall(1) / wall(K).");
+  bench::Table st{{"workers", "wall s", "events/s", "flows/s", "digest32", "speedup"}, 14};
+  st.print_header();
+  const double wall1 = report.cell("shards=1").timing_mean("wall_s");
+  for (const unsigned k : shard_counts) {
+    const auto& c = report.cell("shards=" + std::to_string(k));
+    st.cell(static_cast<std::uint64_t>(k));
+    st.cell(c.timing_mean("wall_s"), "%.3f");
+    st.cell(c.timing_mean("events_per_wall_s"), "%.0f");
+    st.cell(c.timing_mean("flows_per_wall_s"), "%.0f");
+    st.cell(static_cast<std::uint64_t>(c.scalar_mean("digest32")));
+    st.cell(wall1 / c.timing_mean("wall_s"), "%.2fx");
+    st.end_row();
   }
   bench::note("");
   bench::note("Expected shape: at 'a few tens of nodes' scale, per-node control traffic");

@@ -20,6 +20,7 @@
 #include "net/internet.hpp"
 #include "obs/recorder.hpp"
 #include "sim/random.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "topo/backbones.hpp"
 #include "topo/geo.hpp"
@@ -248,6 +249,64 @@ exp::Metrics forward_4isp(Duration traffic_time, int pps, std::uint64_t seed,
 
 }  // namespace
 
+// ---- Cell 4: sharded-kernel round overhead ---------------------------------
+//
+// A raw 8-partition ring (no underlay): each partition self-schedules every
+// 10 us and pushes a cross-shard event roughly every millisecond, so the
+// 1 ms-lookahead rounds stay busy. Measures kernel events/sec — the barrier +
+// flush overhead on top of the plain simulator's queue cost — at the --shards
+// worker count.
+exp::Metrics shard_ring(unsigned workers, Duration dur, std::uint64_t seed) {
+  constexpr std::uint32_t kParts = 8;
+  sim::ShardedKernel k{kParts, workers};
+  std::vector<sim::ShardChannel*> next(kParts);
+  for (std::uint32_t p = 0; p < kParts; ++p) {
+    next[p] = &k.add_channel(p, (p + 1) % kParts, Duration::milliseconds(1));
+  }
+
+  const sim::TimePoint stop = sim::TimePoint::zero() + dur;
+  struct Spinner {
+    sim::ShardedKernel& k;
+    sim::ShardChannel& out;
+    sim::Rng rng;
+    std::uint32_t p;
+    sim::TimePoint stop;
+    std::uint64_t ticks = 0;
+    void tick() {
+      sim::Simulator& sim = k.shard_sim(p);
+      if (sim.now() >= stop) return;
+      ++ticks;
+      if (ticks % 100 == 0) {
+        out.push(sim.now() + Duration::milliseconds(1) +
+                     Duration::microseconds(static_cast<std::int64_t>(rng.next_u64() % 300)),
+                 []() {});
+      }
+      sim.schedule(Duration::microseconds(10), [this]() { tick(); });
+    }
+  };
+  std::vector<std::unique_ptr<Spinner>> spinners;
+  for (std::uint32_t p = 0; p < kParts; ++p) {
+    spinners.push_back(std::make_unique<Spinner>(
+        Spinner{k, *next[p], sim::component_stream(seed, p, /*component=*/1, 0), p, stop}));
+    // son-lint: allow(cross-shard) "coordinator seeding each partition's own queue before the run"
+    k.shard_sim(p).schedule_at(sim::TimePoint::zero(),
+                               [s = spinners.back().get()]() { s->tick(); });
+  }
+
+  const auto w0 = std::chrono::steady_clock::now();
+  k.run_until(stop);
+  const double wall = seconds_since(w0);
+
+  std::uint64_t pushes = 0;
+  for (std::uint32_t p = 0; p < kParts; ++p) pushes += next[p]->total_pushed();
+  exp::Metrics m;
+  m.scalar("events", static_cast<double>(k.events_fired()));
+  m.scalar("cross_pushes", static_cast<double>(pushes));
+  m.scalar("rounds", static_cast<double>(k.rounds()));
+  m.timing("events_per_sec", static_cast<double>(k.events_fired()) / wall);
+  return m;
+}
+
 int main(int argc, char** argv) {
   const auto opts = exp::Options::parse(argc, argv, "simcore", 3, 7100);
   const std::uint64_t churn_budget = opts.quick ? 300'000 : 3'000'000;
@@ -291,6 +350,16 @@ int main(int argc, char** argv) {
                                       seed == rec_seed ? record : std::string{});
                 });
   }
+  {
+    exp::Json p = exp::Json::object();
+    p["partitions"] = std::uint64_t{8};
+    p["workers"] = static_cast<std::uint64_t>(opts.resolved_shards());
+    ex.add_cell("shard_ring", std::move(p),
+                [workers = opts.resolved_shards(),
+                 dur = opts.quick ? 1_s : 4_s](std::uint64_t seed) {
+                  return shard_ring(workers, dur, seed);
+                });
+  }
   const exp::Report report = ex.run();
 
   bench::Table t{{"cell", "work/trial", "rate (wall)", "unit"}, 18};
@@ -317,6 +386,14 @@ int main(int argc, char** argv) {
     t.cell(c.scalar_mean("sent"), "%.0f");
     t.cell(c.timing_mean("pkts_per_sec"), "%.0f");
     t.cell(std::string{"pkts/s"});
+    t.end_row();
+  }
+  {
+    const auto& c = report.cell("shard_ring");
+    t.cell(std::string{"shard_ring"});
+    t.cell(c.scalar_mean("events"), "%.0f");
+    t.cell(c.timing_mean("events_per_sec"), "%.0f");
+    t.cell(std::string{"events/s"});
     t.end_row();
   }
   bench::note("");

@@ -80,6 +80,7 @@ Report Experiment::run() const {
   Json jopts = Json::object();
   jopts["reps"] = static_cast<std::int64_t>(opts_.effective_reps());
   jopts["quick"] = opts_.quick;
+  jopts["shards"] = static_cast<std::int64_t>(opts_.shards);
   jopts["seed_base"] = opts_.seed_base;
   Json jseeds = Json::array();
   for (const auto s : opts_.seeds) jseeds.push_back(s);

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 namespace son::exp {
 
@@ -15,6 +16,8 @@ namespace {
       "  --seeds a,b,c   explicit comma-separated seed list\n"
       "  --seed-base S   seed for replication 0 (default %llu); rep i uses S+i\n"
       "  --jobs N        worker threads (default: hardware concurrency)\n"
+      "  --shards N      sharded-kernel workers per trial (default 1;\n"
+      "                  0 = hardware concurrency; results never depend on N)\n"
       "  --json-out P    write the JSON report to P (default BENCH_%s.json)\n"
       "  --no-json       do not write a JSON report\n"
       "  --quick         reduced durations/replications (CI smoke mode)\n"
@@ -82,6 +85,21 @@ Options Options::parse(int& argc, char** argv, std::string bench_name, int defau
       if (o.reps < 1) o.reps = 1;
     } else if (std::strcmp(arg, "--jobs") == 0) {
       o.jobs = static_cast<unsigned>(parse_u64(value(), o));
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      const char* v = value();
+      // parse_u64 would accept "-1" (strtoull wraps negatives); reject any
+      // sign explicitly — a negative worker count is always a user error.
+      if (v[0] == '-' || v[0] == '+') {
+        std::fprintf(stderr, "--shards must be a non-negative integer, got '%s'\n", v);
+        usage(o, 2);
+      }
+      const std::uint64_t n = parse_u64(v, o);
+      if (n > 1024) {
+        std::fprintf(stderr, "--shards %llu: too many shards\n",
+                     static_cast<unsigned long long>(n));
+        usage(o, 2);
+      }
+      o.shards = static_cast<int>(n);
     } else if (std::strcmp(arg, "--seed-base") == 0) {
       o.seed_base = parse_u64(value(), o);
     } else if (std::strcmp(arg, "--seeds") == 0) {
@@ -113,6 +131,12 @@ std::uint64_t Options::seed_for(int rep) const {
 
 int Options::effective_reps() const {
   return seeds.empty() ? reps : static_cast<int>(seeds.size());
+}
+
+unsigned Options::resolved_shards() const {
+  if (shards > 0) return static_cast<unsigned>(shards);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
 }
 
 std::string Options::json_path() const {

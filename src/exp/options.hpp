@@ -5,6 +5,7 @@
 //   --seeds a,b,c   explicit seed list (overrides --reps/--seed-base)
 //   --seed-base S   seed for replication 0; replication i uses S+i
 //   --jobs N        worker threads (default: hardware_concurrency)
+//   --shards N      sharded-kernel worker threads (0 = hardware_concurrency)
 //   --json-out P    report path (default BENCH_<name>.json in the cwd)
 //   --no-json       skip writing the report
 //   --quick         reduced durations/replications for CI smoke runs
@@ -21,6 +22,10 @@ struct Options {
   std::string bench;  // short name; default report path is BENCH_<bench>.json
   int reps = 1;
   unsigned jobs = 0;  // 0 = hardware_concurrency
+  /// Sharded-kernel worker threads per trial (the --shards flag). 1 = run the
+  /// sharded kernel single-threaded; 0 = one worker per hardware thread.
+  /// Results are worker-count-invariant — this is purely a wall-clock knob.
+  int shards = 1;
   std::uint64_t seed_base = 1;
   std::vector<std::uint64_t> seeds;  // explicit --seeds list, if given
   bool quick = false;
@@ -42,6 +47,9 @@ struct Options {
 
   /// Replications per cell: the explicit seed list's size if given, else reps.
   [[nodiscard]] int effective_reps() const;
+
+  /// `shards` with 0 resolved to hardware_concurrency (min 1).
+  [[nodiscard]] unsigned resolved_shards() const;
 
   [[nodiscard]] std::string json_path() const;
 };

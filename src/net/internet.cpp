@@ -8,11 +8,14 @@
 
 #include "obs/recorder.hpp"
 #include "sim/check.hpp"
+#include "sim/shard.hpp"
 
 namespace son::net {
 
 Internet::Internet(sim::Simulator& sim, sim::Rng rng, Config cfg)
     : sim_{sim}, rng_{rng}, cfg_{cfg} {
+  parts_.resize(1);
+  parts_[0].sim = &sim_;
   obs_sent_ = obs::counter("net.sent");
   obs_delivered_ = obs::counter("net.delivered");
   for (std::size_t r = 0; r < kNumDropReasons; ++r) {
@@ -36,13 +39,14 @@ RouterId Internet::add_router(IspId isp, std::string name) {
 
 LinkId Internet::add_link(RouterId a, RouterId b, const LinkConfig& cfg) {
   assert(a < routers_.size() && b < routers_.size() && a != b);
+  SON_DCHECK(!sharded(), "topology is frozen once enable_sharding has run");
   const auto id = static_cast<LinkId>(links_.size());
   links_.push_back(Link{a, b, true, true,
                         LinkDirection{cfg, rng_.fork(0x11000 + id)},
                         LinkDirection{cfg, rng_.fork(0x12000 + id)}});
   routers_[a].adj.emplace_back(b, id);
   routers_[b].adj.emplace_back(a, id);
-  route_cache_.clear();
+  for (PartState& ps : parts_) ps.route_cache.clear();
   return id;
 }
 
@@ -53,6 +57,7 @@ HostId Internet::add_host(std::string name) {
 
 AttachIndex Internet::attach_host(HostId host, RouterId router, const LinkConfig& access) {
   assert(host < hosts_.size() && router < routers_.size());
+  SON_DCHECK(!sharded(), "topology is frozen once enable_sharding has run");
   auto& h = hosts_[host];
   const auto idx = static_cast<AttachIndex>(h.attaches.size());
   h.attaches.push_back(
@@ -119,12 +124,13 @@ std::optional<std::vector<Internet::Step>> Internet::compute_route(RouterId from
   return path;
 }
 
-const Internet::CachedRoute& Internet::route_entry(RouterId from, RouterId to, IspId isp) const {
+const Internet::CachedRoute& Internet::route_entry(const PartState& ps, RouterId from,
+                                                   RouterId to, IspId isp) const {
   SON_DCHECK(from < (1u << 24) && to < (1u << 24),
              "route_key packs router ids into 24 bits");
   const std::uint64_t key = route_key(from, to, isp);
-  auto it = route_cache_.find(key);
-  if (it == route_cache_.end()) {
+  auto it = ps.route_cache.find(key);
+  if (it == ps.route_cache.end()) {
     CachedRoute entry;
     if (auto path = compute_route(from, to, isp)) {
       for (const auto& step : *path) {
@@ -132,7 +138,7 @@ const Internet::CachedRoute& Internet::route_entry(RouterId from, RouterId to, I
       }
       entry.path = std::make_shared<const std::vector<Step>>(std::move(*path));
     }
-    it = route_cache_.emplace(key, std::move(entry)).first;
+    it = ps.route_cache.emplace(key, std::move(entry)).first;
   }
   // Cache invariant: an entry either has no path (negative cache) or a path
   // whose recomputed latency matches the cached one — a mismatch means a
@@ -142,15 +148,16 @@ const Internet::CachedRoute& Internet::route_entry(RouterId from, RouterId to, I
   return it->second;
 }
 
-std::optional<sim::Duration> Internet::route_latency(RouterId from, RouterId to,
-                                                     IspId isp) const {
-  const CachedRoute& entry = route_entry(from, to, isp);
+std::optional<sim::Duration> Internet::route_latency(const PartState& ps, RouterId from,
+                                                     RouterId to, IspId isp) const {
+  const CachedRoute& entry = route_entry(ps, from, to, isp);
   if (!entry.path) return std::nullopt;
   return entry.latency;
 }
 
-bool Internet::resolve_attachments(HostId src, HostId dst, const SendOptions& opts,
-                                   AttachIndex& si, AttachIndex& di, IspId& constraint) const {
+bool Internet::resolve_attachments(const PartState& ps, HostId src, HostId dst,
+                                   const SendOptions& opts, AttachIndex& si, AttachIndex& di,
+                                   IspId& constraint) const {
   const auto& hs = hosts_[src];
   const auto& hd = hosts_[dst];
   double best = std::numeric_limits<double>::infinity();
@@ -165,11 +172,11 @@ bool Internet::resolve_attachments(HostId src, HostId dst, const SendOptions& op
     std::optional<sim::Duration> lat;
     if (routers_[ra].isp == routers_[rb].isp) {
       mode = routers_[ra].isp;
-      lat = route_latency(ra, rb, mode);
+      lat = route_latency(ps, ra, rb, mode);
     }
     if (!lat) {
       mode = kInvalidIsp;
-      lat = route_latency(ra, rb, kInvalidIsp);
+      lat = route_latency(ps, ra, rb, kInvalidIsp);
     }
     if (!lat) return;
     const double cost = lat->to_seconds_f() +
@@ -206,36 +213,41 @@ bool Internet::resolve_attachments(HostId src, HostId dst, const SendOptions& op
 
 std::uint64_t Internet::send(Datagram d, const SendOptions& opts) {
   assert(d.src < hosts_.size() && d.dst < hosts_.size());
-  d.id = next_packet_id_++;
-  ++counters_.sent;
+  // Everything send() touches — packet ids, counters, route cache, the access
+  // link, the clock — belongs to the source host's partition, so in a sharded
+  // run the caller must invoke send() from an event on host_sim(d.src).
+  PartState& ps = parts_[host_partition(d.src)];
+  SON_DCHECK(ps.next_packet_id < (1ULL << 48), "per-partition packet-id space exhausted");
+  d.id = ps.id_tag | ps.next_packet_id++;
+  ++ps.counters.sent;
   obs_sent_.add();
 
   AttachIndex si = 0, di = 0;
   IspId constraint = kInvalidIsp;
-  if (!resolve_attachments(d.src, d.dst, opts, si, di, constraint)) {
-    drop(d, DropReason::kNoRoute);
+  if (!resolve_attachments(ps, d.src, d.dst, opts, si, di, constraint)) {
+    drop(ps, d, DropReason::kNoRoute);
     return d.id;
   }
   auto& src_attach = hosts_[d.src].attaches[si];
   const RouterId first_router = src_attach.router;
   const RouterId last_router = hosts_[d.dst].attaches[di].router;
 
-  const CachedRoute& entry = route_entry(first_router, last_router, constraint);
+  const CachedRoute& entry = route_entry(ps, first_router, last_router, constraint);
   if (!entry.path) {
-    drop(d, DropReason::kNoRoute);
+    drop(ps, d, DropReason::kNoRoute);
     return d.id;
   }
 
-  const auto out = src_attach.up_link.transmit(sim_.now(), d.size_bytes);
+  const auto out = src_attach.up_link.transmit(ps.sim->now(), d.size_bytes);
   if (!out.delivered) {
-    drop(d, out.reason);
+    drop(ps, d, out.reason);
     return d.id;
   }
   // Share the path: in-flight packets hold a reference to the immutable
   // route, so it survives cache clears without ever being copied.
   const std::uint64_t id = d.id;
-  sim_.schedule_at(out.arrival, [this, d = std::move(d), first_router, path = entry.path, di,
-                                 ttl = cfg_.default_ttl]() mutable {
+  ps.sim->schedule_at(out.arrival, [this, d = std::move(d), first_router, path = entry.path, di,
+                                    ttl = cfg_.default_ttl]() mutable {
     forward(std::move(d), first_router, std::move(path), 0, di, ttl);
   });
   return id;
@@ -243,71 +255,90 @@ std::uint64_t Internet::send(Datagram d, const SendOptions& opts) {
 
 void Internet::forward(Datagram d, RouterId at, RoutePtr path, std::size_t idx,
                        AttachIndex dst_attach, std::uint8_t ttl) {
+  // Runs inside `at`'s partition. Each LinkDirection stays single-writer:
+  // direction a→b is only ever transmitted on from a's partition.
+  PartState& ps = parts_[router_partition(at)];
   if (!routers_[at].actually_up) {
-    drop(d, DropReason::kRouterDown);
+    drop(ps, d, DropReason::kRouterDown);
     return;
   }
   if (ttl == 0) {
-    drop(d, DropReason::kTtlExpired);
+    drop(ps, d, DropReason::kTtlExpired);
     return;
   }
 
   if (idx == path->size()) {
-    // Final router: deliver over the destination's access link.
+    // Final router: deliver over the destination's access link. The host is
+    // co-located with this router (enable_sharding enforces it), so the
+    // delivery stays inside this partition.
     auto& attach = hosts_[d.dst].attaches[dst_attach];
-    const auto out = attach.down_link.transmit(sim_.now(), d.size_bytes);
+    const auto out = attach.down_link.transmit(ps.sim->now(), d.size_bytes);
     if (!out.delivered) {
-      drop(d, out.reason);
+      drop(ps, d, out.reason);
       return;
     }
-    sim_.schedule_at(out.arrival,
-                     [this, d = std::move(d), dst_attach]() { deliver(d, dst_attach); });
+    ps.sim->schedule_at(out.arrival,
+                        [this, d = std::move(d), dst_attach]() { deliver(d, dst_attach); });
     return;
   }
 
   const Step step = (*path)[idx];
   Link& l = links_[step.link];
   if (!l.actually_up) {
-    drop(d, l.believed_up ? DropReason::kStaleRoute : DropReason::kLinkDown);
+    drop(ps, d, l.believed_up ? DropReason::kStaleRoute : DropReason::kLinkDown);
     return;
   }
   LinkDirection& dir = (l.a == at) ? l.ab : l.ba;
-  const auto out = dir.transmit(sim_.now(), d.size_bytes);
+  const auto out = dir.transmit(ps.sim->now(), d.size_bytes);
   if (!out.delivered) {
-    drop(d, out.reason);
+    drop(ps, d, out.reason);
     return;
   }
-  sim_.schedule_at(out.arrival + cfg_.router_latency,
-                   [this, d = std::move(d), step, path = std::move(path), idx, dst_attach,
-                    ttl]() mutable {
-                     forward(std::move(d), step.next, std::move(path), idx + 1, dst_attach,
-                             static_cast<std::uint8_t>(ttl - 1));
-                   });
+  const sim::TimePoint when = out.arrival + cfg_.router_latency;
+  auto cont = [this, d = std::move(d), step, path = std::move(path), idx, dst_attach,
+               ttl]() mutable {
+    forward(std::move(d), step.next, std::move(path), idx + 1, dst_attach,
+            static_cast<std::uint8_t>(ttl - 1));
+  };
+  const std::uint32_t pn = router_partition(step.next);
+  if (pn == ps.index) {
+    ps.sim->schedule_at(when, std::move(cont));
+  } else {
+    // Cross-partition hop: hand the continuation to the channel. The
+    // lookahead bound holds because arrival >= now + prop_delay >= round
+    // floor + min crossing prop_delay, and `when` adds the router latency.
+    sim::ShardChannel* ch = ps.out[pn];
+    SON_DCHECK(ch != nullptr, "cross-partition hop with no registered channel");
+    ch->push(when, std::move(cont));
+  }
 }
 
 void Internet::deliver(const Datagram& d, AttachIndex) {
+  PartState& ps = parts_[host_partition(d.dst)];
   const auto& h = hosts_[d.dst];
   const auto it = h.port_handlers.find(d.dst_port);
   if (it != h.port_handlers.end()) {
-    ++counters_.delivered;
+    ++ps.counters.delivered;
     obs_delivered_.add();
     it->second(d);
     return;
   }
   if (!h.handler) {
-    drop(d, DropReason::kNoHandler);
+    drop(ps, d, DropReason::kNoHandler);
     return;
   }
-  ++counters_.delivered;
+  ++ps.counters.delivered;
   obs_delivered_.add();
   h.handler(d);
 }
 
-void Internet::drop(const Datagram& d, DropReason reason) {
-  ++counters_.dropped[static_cast<std::size_t>(reason)];
+void Internet::drop(PartState& ps, const Datagram& d, DropReason reason) {
+  ++ps.counters.dropped[static_cast<std::size_t>(reason)];
   obs_dropped_[static_cast<std::size_t>(reason)].add();
-  SON_OBS(obs::kSystemNode, obs::Category::kDrop, reason, d.id,
-          (static_cast<std::uint64_t>(d.src) << 32) | d.dst);
+  // Partition p records to its own system ring (kSystemNode - p) so rings
+  // stay single-writer under parallel execution.
+  SON_OBS(static_cast<std::uint16_t>(obs::kSystemNode - ps.index), obs::Category::kDrop, reason,
+          d.id, (static_cast<std::uint64_t>(d.src) << 32) | d.dst);
   if (tracer_.enabled(sim::TraceLevel::kDebug)) {
     trace(sim::TraceLevel::kDebug, "drop pkt " + std::to_string(d.id) + " " +
                                        hosts_[d.src].name + "->" + hosts_[d.dst].name + ": " +
@@ -327,16 +358,23 @@ void Internet::schedule_convergence(std::function<void()> apply_belief) {
   sim_.schedule_at(when, [this, when]() {
     const auto batch = pending_convergence_.extract(when);
     for (const auto& apply : batch.mapped()) apply();
-    route_cache_.clear();
+    for (PartState& ps : parts_) ps.route_cache.clear();
   });
 }
 
 void Internet::set_link_up(LinkId link, bool up) {
+  // Topology mutations touch shared state: in a sharded run they must come
+  // from global events (kernel.schedule_global), which execute with every
+  // partition quiesced at a round barrier.
+  SON_DCHECK(kernel_ == nullptr || !kernel_->in_round(),
+             "set_link_up from a partition event — use schedule_global");
   links_.at(link).actually_up = up;
   schedule_convergence([this, link, up]() { links_[link].believed_up = up; });
 }
 
 void Internet::set_router_up(RouterId router, bool up) {
+  SON_DCHECK(kernel_ == nullptr || !kernel_->in_round(),
+             "set_router_up from a partition event — use schedule_global");
   routers_.at(router).actually_up = up;
   schedule_convergence([this, router, up]() { routers_[router].believed_up = up; });
 }
@@ -370,10 +408,11 @@ std::optional<sim::Duration> Internet::path_latency(HostId a, AttachIndex ai, Ho
   SendOptions opts{ai, bi};
   AttachIndex si = 0, di = 0;
   IspId constraint = kInvalidIsp;
-  if (!resolve_attachments(a, b, opts, si, di, constraint)) return std::nullopt;
+  const PartState& ps = parts_[host_partition(a)];
+  if (!resolve_attachments(ps, a, b, opts, si, di, constraint)) return std::nullopt;
   const RouterId ra = hosts_[a].attaches[si].router;
   const RouterId rb = hosts_[b].attaches[di].router;
-  auto lat = route_latency(ra, rb, constraint);
+  auto lat = route_latency(ps, ra, rb, constraint);
   if (!lat) return std::nullopt;
   return *lat + hosts_[a].attaches[si].up_link.config().prop_delay +
          hosts_[b].attaches[di].down_link.config().prop_delay;
@@ -384,14 +423,84 @@ std::optional<std::vector<RouterId>> Internet::path_routers(HostId a, AttachInde
   SendOptions opts{ai, bi};
   AttachIndex si = 0, di = 0;
   IspId constraint = kInvalidIsp;
-  if (!resolve_attachments(a, b, opts, si, di, constraint)) return std::nullopt;
+  const PartState& ps = parts_[host_partition(a)];
+  if (!resolve_attachments(ps, a, b, opts, si, di, constraint)) return std::nullopt;
   const RouterId ra = hosts_[a].attaches[si].router;
   const RouterId rb = hosts_[b].attaches[di].router;
-  const CachedRoute& entry = route_entry(ra, rb, constraint);
+  const CachedRoute& entry = route_entry(ps, ra, rb, constraint);
   if (!entry.path) return std::nullopt;
   std::vector<RouterId> out{ra};
   for (const auto& s : *entry.path) out.push_back(s.next);
   return out;
+}
+
+const Internet::Counters& Internet::counters() const {
+  if (parts_.size() == 1) return parts_[0].counters;
+  folded_ = Counters{};
+  for (const PartState& ps : parts_) {
+    folded_.sent += ps.counters.sent;
+    folded_.delivered += ps.counters.delivered;
+    for (std::size_t r = 0; r < kNumDropReasons; ++r) {
+      folded_.dropped[r] += ps.counters.dropped[r];
+    }
+  }
+  return folded_;
+}
+
+// ---- Sharded execution -----------------------------------------------------
+
+void Internet::enable_sharding(sim::ShardedKernel& kernel, ShardPlan plan) {
+  SON_DCHECK(kernel_ == nullptr, "enable_sharding may only run once");
+  SON_DCHECK(&kernel.control_sim() == &sim_,
+             "a sharded Internet must be constructed over kernel.control_sim()");
+  SON_DCHECK(plan.num_partitions >= 1 && plan.num_partitions == kernel.num_partitions(),
+             "plan partition count must match the kernel");
+  SON_DCHECK(plan.router_partition.size() == routers_.size(), "plan must cover every router");
+  SON_DCHECK(plan.host_partition.size() == hosts_.size(), "plan must cover every host");
+
+  kernel_ = &kernel;
+  plan_ = std::move(plan);
+  const std::size_t np = plan_.num_partitions;
+  parts_.clear();
+  parts_.resize(np);
+  for (std::uint32_t p = 0; p < np; ++p) {
+    parts_[p].sim = &kernel.shard_sim(p);
+    parts_[p].index = p;
+    parts_[p].id_tag = static_cast<std::uint64_t>(p) << 48;
+    parts_[p].out.assign(np, nullptr);
+  }
+
+  // A host must be co-located with every router it attaches to: the access
+  // links and the delivery path are partition-local state.
+  for (HostId h = 0; h < hosts_.size(); ++h) {
+    for (const Attachment& a : hosts_[h].attaches) {
+      SON_DCHECK(plan_.router_partition[a.router] == plan_.host_partition[h],
+                 "host attached to a router in another partition");
+      (void)a;
+    }
+  }
+
+  // One channel per ordered partition pair joined by at least one link;
+  // lookahead = min crossing propagation delay + the per-hop router latency
+  // (the continuation for a crossing hop is scheduled at arrival + latency).
+  std::vector<std::int64_t> min_prop_ns(np * np, -1);
+  for (const Link& l : links_) {
+    const std::uint32_t pa = plan_.router_partition[l.a];
+    const std::uint32_t pb = plan_.router_partition[l.b];
+    if (pa == pb) continue;
+    const std::int64_t prop = l.ab.config().prop_delay.ns();
+    for (const std::size_t k : {pa * np + pb, pb * np + pa}) {
+      if (min_prop_ns[k] < 0 || prop < min_prop_ns[k]) min_prop_ns[k] = prop;
+    }
+  }
+  for (std::uint32_t src = 0; src < np; ++src) {
+    for (std::uint32_t dst = 0; dst < np; ++dst) {
+      const std::int64_t prop = min_prop_ns[src * np + dst];
+      if (prop < 0) continue;
+      parts_[src].out[dst] = &kernel.add_channel(
+          src, dst, sim::Duration::nanoseconds(prop) + cfg_.router_latency);
+    }
+  }
 }
 
 std::uint64_t Internet::backbone_bytes_carried() const {

@@ -26,6 +26,11 @@
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
+namespace son::sim {
+class ShardedKernel;
+class ShardChannel;
+}  // namespace son::sim
+
 namespace son::net {
 
 class Internet {
@@ -72,6 +77,39 @@ class Internet {
   std::uint64_t send(Datagram d, const SendOptions& opts);
   std::uint64_t send(Datagram d) { return send(std::move(d), SendOptions{}); }
 
+  // ---- Sharded execution -------------------------------------------------
+  /// Fixed assignment of every router and host to a partition. The plan is a
+  /// property of the topology (one partition per site), NOT of the worker
+  /// count — results depend only on the plan, so any worker count reproduces
+  /// them bit-identically.
+  struct ShardPlan {
+    std::size_t num_partitions = 1;
+    std::vector<std::uint32_t> router_partition;  // indexed by RouterId
+    std::vector<std::uint32_t> host_partition;    // indexed by HostId
+  };
+
+  /// Switches the data plane to sharded execution on `kernel`. Call after
+  /// topology construction and before any traffic. Requirements (checked):
+  /// the Internet must have been constructed over kernel.control_sim() (so
+  /// failure injection and convergence run as global events), every host
+  /// must be co-located with all of its attachment routers, and the plan
+  /// must cover every router and host. Registers one cross-shard channel per
+  /// ordered partition pair joined by a link; the channel lookahead is the
+  /// smallest crossing-link propagation delay plus the per-hop router
+  /// latency — the minimum time any packet needs to cross the cut.
+  void enable_sharding(sim::ShardedKernel& kernel, ShardPlan plan);
+  [[nodiscard]] bool sharded() const { return kernel_ != nullptr; }
+  [[nodiscard]] std::uint32_t host_partition(HostId h) const {
+    return parts_.size() == 1 ? 0 : plan_.host_partition[h];
+  }
+  [[nodiscard]] std::uint32_t router_partition(RouterId r) const {
+    return parts_.size() == 1 ? 0 : plan_.router_partition[r];
+  }
+  /// The simulator driving `host`'s partition (== simulator() when not
+  /// sharded). Scenario code schedules traffic sources on it so a host's
+  /// sends always execute inside the host's own partition.
+  [[nodiscard]] sim::Simulator& host_sim(HostId h) { return *parts_[host_partition(h)].sim; }
+
   // ---- Failure injection / control --------------------------------------
   void set_link_up(LinkId link, bool up);
   void set_router_up(RouterId router, bool up);
@@ -107,7 +145,9 @@ class Internet {
   };
   static_assert(kNumDropReasons <= sizeof(Counters::dropped) / sizeof(std::uint64_t),
                 "Counters::dropped[] is too small for DropReason — grow the array");
-  [[nodiscard]] const Counters& counters() const { return counters_; }
+  /// Totals folded across partitions (deterministic: plain per-partition
+  /// sums, added in partition order).
+  [[nodiscard]] const Counters& counters() const;
 
   /// Sum of bytes carried over all backbone link directions (both ways),
   /// excluding access links. Used by the multicast-efficiency benchmark.
@@ -115,11 +155,13 @@ class Internet {
 
   void set_tracer(sim::Tracer tracer) { tracer_ = std::move(tracer); }
 
-  /// Testing hook: rehashes the route cache to at least `buckets` buckets.
+  /// Testing hook: rehashes the route caches to at least `buckets` buckets.
   /// Results must be invariant under any hash-table layout — the golden-run
   /// suite re-runs scenarios with different bucket counts (including a
   /// mid-run rehash) to prove nothing observes unordered iteration order.
-  void rehash_route_cache(std::size_t buckets) const { route_cache_.rehash(buckets); }
+  void rehash_route_cache(std::size_t buckets) const {
+    for (const PartState& ps : parts_) ps.route_cache.rehash(buckets);
+  }
 
   sim::Simulator& simulator() { return sim_; }
 
@@ -169,22 +211,43 @@ class Internet {
            isp;
   }
 
+  /// Per-partition execution state. A monolithic Internet has exactly one
+  /// (index 0, sim == &sim_); enable_sharding() rebuilds the vector with one
+  /// entry per partition. Everything a packet touches while in flight lives
+  /// here, so two partitions never write the same memory inside a round.
+  struct PartState {
+    sim::Simulator* sim = nullptr;
+    std::uint32_t index = 0;
+    /// High bits of packet ids minted by this partition (partition << 48).
+    /// Partition 0 tags with 0, so monolithic runs keep their historical
+    /// plain ids — and the pinned golden delivery hashes.
+    std::uint64_t id_tag = 0;
+    std::uint64_t next_packet_id = 1;
+    // Mutable: lookups from const introspection paths fill the cache too.
+    mutable std::unordered_map<std::uint64_t, CachedRoute> route_cache;
+    Counters counters;
+    /// Outgoing cross-shard channels, indexed by destination partition
+    /// (nullptr on the diagonal and for pairs with no connecting link).
+    std::vector<sim::ShardChannel*> out;
+  };
+
   /// Believed-topology Dijkstra. isp == kInvalidIsp allows all links.
   [[nodiscard]] std::optional<std::vector<Step>> compute_route(RouterId from, RouterId to,
                                                                IspId isp) const;
   /// Cached route + its believed latency; computes on miss.
-  const CachedRoute& route_entry(RouterId from, RouterId to, IspId isp) const;
-  [[nodiscard]] std::optional<sim::Duration> route_latency(RouterId from, RouterId to,
-                                                           IspId isp) const;
+  const CachedRoute& route_entry(const PartState& ps, RouterId from, RouterId to,
+                                 IspId isp) const;
+  [[nodiscard]] std::optional<sim::Duration> route_latency(const PartState& ps, RouterId from,
+                                                           RouterId to, IspId isp) const;
 
   /// Chooses attachment indices per SendOptions; returns false if no route.
-  bool resolve_attachments(HostId src, HostId dst, const SendOptions& opts, AttachIndex& si,
-                           AttachIndex& di, IspId& constraint) const;
+  bool resolve_attachments(const PartState& ps, HostId src, HostId dst, const SendOptions& opts,
+                           AttachIndex& si, AttachIndex& di, IspId& constraint) const;
 
   void forward(Datagram d, RouterId at, RoutePtr path, std::size_t idx, AttachIndex dst_attach,
                std::uint8_t ttl);
   void deliver(const Datagram& d, AttachIndex dst_attach);
-  void drop(const Datagram& d, DropReason reason);
+  void drop(PartState& ps, const Datagram& d, DropReason reason);
   /// Schedules control-plane convergence after a topology change. Changes
   /// landing at the same instant share one convergence event (and one route
   /// cache clear) instead of scheduling one each.
@@ -205,12 +268,15 @@ class Internet {
   std::vector<Link> links_;
   std::vector<Host> hosts_;
 
-  // Mutable: lookups from const introspection paths fill the cache too.
-  mutable std::unordered_map<std::uint64_t, CachedRoute> route_cache_;
   /// Belief updates batched per convergence instant (see schedule_convergence).
   std::map<sim::TimePoint, std::vector<std::function<void()>>> pending_convergence_;
-  std::uint64_t next_packet_id_ = 1;
-  Counters counters_;
+
+  /// Partition states; size 1 until enable_sharding(). Indexed by partition.
+  std::vector<PartState> parts_;
+  sim::ShardedKernel* kernel_ = nullptr;
+  ShardPlan plan_;
+  /// Scratch for counters(): fold of parts_[*].counters, rebuilt per call.
+  mutable Counters folded_;
   // Observability: null-safe handles into the thread's counter registry (if
   // one was installed when this Internet was constructed). Write-only — the
   // simulation never reads them back.

@@ -9,6 +9,12 @@ thread_local CounterRegistry* g_current = nullptr;
 
 CounterRegistry* CounterRegistry::current() { return g_current; }
 
+CounterRegistry* CounterRegistry::swap_current(CounterRegistry* reg) {
+  CounterRegistry* previous = g_current;
+  g_current = reg;
+  return previous;
+}
+
 Counter counter(const std::string& name) {
   CounterRegistry* reg = CounterRegistry::current();
   return reg != nullptr ? Counter(reg->slot(name)) : Counter();

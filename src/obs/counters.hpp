@@ -2,16 +2,24 @@
 //
 // A CounterRegistry owns a sorted map of name → uint64 slot. Instrumented
 // code asks once for a Counter handle (a raw slot pointer — std::map node
-// addresses are stable) and bumps it with plain integer adds on the hot
+// addresses are stable) and bumps it with relaxed atomic adds on the hot
 // path; a handle obtained while no registry is installed is null and add()
-// is a no-op. Snapshots iterate the map in name order, so exported JSON and
-// cross-trial merges are deterministic by construction.
+// is a no-op. Slots are atomic because one registry may be shared by every
+// partition worker of a sharded-kernel run: components constructed on the
+// coordinator thread keep their handles when their events execute on
+// workers, and {add} is commutative, so folded totals are independent of
+// both thread interleaving and worker count. Snapshots iterate the map in
+// name order, so exported JSON and cross-trial merges are deterministic by
+// construction.
 //
 // Like the Recorder, installation is scoped and thread-local: one registry
-// per experiment trial, no cross-thread sharing, nothing fed back into the
-// simulation (counters are write-only observation — the inertness contract).
+// per experiment trial, nothing fed back into the simulation (counters are
+// write-only observation — the inertness contract). The sharded kernel
+// propagates the coordinator's installed registry into its workers via
+// obs::bind_worker_observability.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -22,27 +30,38 @@ namespace son::obs {
 
 class CounterRegistry {
  public:
+  using Slot = std::atomic<std::uint64_t>;
+
   /// The registry installed on this thread, or nullptr.
   [[nodiscard]] static CounterRegistry* current();
+  /// Installs `reg` (may be nullptr) on this thread; returns the previous
+  /// installation. Prefer ScopedCounterRegistry; this exists for the sharded
+  /// kernel's worker-context propagation.
+  static CounterRegistry* swap_current(CounterRegistry* reg);
 
   /// Returns the slot for `name`, creating it at zero on first use. The
   /// returned pointer stays valid for the registry's lifetime.
-  [[nodiscard]] std::uint64_t* slot(const std::string& name) { return &counters_[name]; }
+  [[nodiscard]] Slot* slot(const std::string& name) { return &counters_[name]; }
 
   /// All counters in name order (deterministic snapshot order).
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> entries() const {
-    return {counters_.begin(), counters_.end()};
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, v] : counters_) {
+      out.emplace_back(name, v.load(std::memory_order_relaxed));
+    }
+    return out;
   }
 
   [[nodiscard]] std::uint64_t value(const std::string& name) const {
     auto it = counters_.find(name);
-    return it != counters_.end() ? it->second : 0;
+    return it != counters_.end() ? it->second.load(std::memory_order_relaxed) : 0;
   }
 
   [[nodiscard]] std::size_t size() const { return counters_.size(); }
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, Slot> counters_;
 };
 
 /// Null-safe handle over one registry slot. Cheap to copy; add() on a
@@ -50,19 +69,19 @@ class CounterRegistry {
 class Counter {
  public:
   Counter() = default;
-  explicit Counter(std::uint64_t* slot) : slot_(slot) {}
+  explicit Counter(CounterRegistry::Slot* slot) : slot_(slot) {}
 
   void add(std::uint64_t delta = 1) {
-    if (slot_ != nullptr) *slot_ += delta;
+    if (slot_ != nullptr) slot_->fetch_add(delta, std::memory_order_relaxed);
   }
   /// Gauge-style overwrite (e.g. high-water marks snapshotted at run end).
   void set(std::uint64_t value) {
-    if (slot_ != nullptr) *slot_ = value;
+    if (slot_ != nullptr) slot_->store(value, std::memory_order_relaxed);
   }
   [[nodiscard]] bool live() const { return slot_ != nullptr; }
 
  private:
-  std::uint64_t* slot_ = nullptr;
+  CounterRegistry::Slot* slot_ = nullptr;
 };
 
 /// Handle for `name` in this thread's current registry; null handle if no

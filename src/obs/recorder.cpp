@@ -4,12 +4,17 @@
 #include <cstring>
 #include <fstream>
 
+#include "obs/counters.hpp"
+#include "sim/shard.hpp"
+
 namespace son::obs {
 namespace {
 
 // Thread-local so each experiment trial (one trial per worker thread) can
 // install its own recorder without any cross-thread coordination.
 thread_local Recorder* g_current = nullptr;
+// Per-thread clock override for sharded runs (see Recorder::swap_thread_clock).
+thread_local const sim::Simulator* g_thread_clock = nullptr;
 
 constexpr char kMagic[8] = {'S', 'O', 'N', 'T', 'R', 'A', 'C', 'E'};
 constexpr std::uint32_t kVersion = 1;
@@ -25,13 +30,29 @@ static_assert(sizeof(TraceHeader) == 24);
 
 }  // namespace
 
-Recorder::Recorder(std::size_t num_nodes, std::size_t ring_capacity)
-    : num_nodes_(num_nodes), capacity_(ring_capacity == 0 ? 1 : ring_capacity) {
-  rings_.resize(num_nodes_ + 1);
+Recorder::Recorder(std::size_t num_nodes, std::size_t ring_capacity, std::size_t system_rings)
+    : num_nodes_(num_nodes),
+      capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      system_rings_(system_rings == 0 ? 1 : system_rings) {
+  rings_.resize(num_nodes_ + system_rings_);
   for (Ring& r : rings_) r.buf.resize(capacity_);
 }
 
 Recorder* Recorder::current() { return g_current; }
+
+Recorder* Recorder::swap_current(Recorder* rec) {
+  Recorder* previous = g_current;
+  g_current = rec;
+  return previous;
+}
+
+const sim::Simulator* Recorder::swap_thread_clock(const sim::Simulator* clock) {
+  const sim::Simulator* previous = g_thread_clock;
+  g_thread_clock = clock;
+  return previous;
+}
+
+const sim::Simulator* Recorder::thread_clock() { return g_thread_clock; }
 
 std::vector<EventRecord> Recorder::merged() const {
   // Collect each ring's live records in write order (oldest first), then
@@ -121,5 +142,25 @@ std::optional<std::vector<EventRecord>> Recorder::read(const std::string& path) 
 ScopedRecorder::ScopedRecorder(Recorder& rec) : previous_(g_current) { g_current = &rec; }
 
 ScopedRecorder::~ScopedRecorder() { g_current = previous_; }
+
+void bind_worker_observability(sim::ShardedKernel& kernel) {
+  kernel.set_worker_context_factory([]() -> sim::ShardedKernel::WorkerContext {
+    // Snapshot the coordinator thread's installation at run entry...
+    Recorder* rec = Recorder::current();
+    CounterRegistry* reg = CounterRegistry::current();
+    // ...and mirror it onto whichever thread executes a slice. Entering a
+    // slice (focus != nullptr) installs the sinks and points the record
+    // clock at the executing simulator; leaving clears only the clock — the
+    // sink installation is idempotent on the coordinator (same values) and
+    // harmless on workers, which do nothing between slices.
+    return [rec, reg](sim::Simulator* focus) {
+      if (focus != nullptr) {
+        (void)Recorder::swap_current(rec);
+        (void)CounterRegistry::swap_current(reg);
+      }
+      (void)Recorder::swap_thread_clock(focus);
+    };
+  });
+}
 
 }  // namespace son::obs

@@ -13,6 +13,15 @@
 // SON_OBS_PATH macros, which compile to a single thread-local load + branch
 // when no recorder is installed.
 //
+// Sharded runs: one recorder CAN serve every partition of a sharded-kernel
+// run, because each ring stays single-writer — a node's events all execute
+// on whichever worker runs that node's partition in a round, and code that
+// runs outside any node (the underlay's drop path) records to the per-
+// partition system ring `kSystemNode - partition`. Construct the recorder
+// with system_rings >= the partition count, and call
+// bind_worker_observability(kernel) so workers inherit the coordinator's
+// installation and records are stamped with the executing partition's clock.
+//
 // Inertness contract: recording is write-only observation. Nothing in this
 // class schedules events, draws randomness, or feeds values back into the
 // simulation — GoldenRun.TracingIsInert pins this (identical delivery hash
@@ -50,24 +59,40 @@ struct PathTrace {
 
 class Recorder {
  public:
-  /// Preallocates `num_nodes` + 1 rings (the extra one is the shared system
-  /// ring) of `ring_capacity` records each.
-  Recorder(std::size_t num_nodes, std::size_t ring_capacity);
+  /// Preallocates `num_nodes` + `system_rings` rings of `ring_capacity`
+  /// records each. One system ring suffices for single-threaded runs; a
+  /// sharded run needs one per partition (see the header comment).
+  Recorder(std::size_t num_nodes, std::size_t ring_capacity, std::size_t system_rings = 1);
 
   /// The recorder installed on this thread, or nullptr. This is THE hot-path
   /// check: SON_OBS is one thread-local load and branch when disabled.
   [[nodiscard]] static Recorder* current();
+  /// Installs `rec` (may be nullptr) on this thread; returns the previous
+  /// installation. Prefer ScopedRecorder; this exists for the sharded
+  /// kernel's worker-context propagation.
+  static Recorder* swap_current(Recorder* rec);
 
-  /// Time source for records. Until attached, records carry t_ns = 0.
+  /// Thread-local clock override: while set, records made from this thread
+  /// are stamped from `clock` instead of the attached simulator. The sharded
+  /// kernel sets it to the executing partition's simulator around each round
+  /// slice (via bind_worker_observability). Returns the previous override.
+  static const sim::Simulator* swap_thread_clock(const sim::Simulator* clock);
+  [[nodiscard]] static const sim::Simulator* thread_clock();
+
+  /// Time source for records. Until attached, records carry t_ns = 0 (unless
+  /// a thread clock override is in effect).
   void attach(const sim::Simulator& sim) { sim_ = &sim; }
 
-  /// Appends one record to `node`'s ring (node >= num_nodes → system ring).
-  /// Never allocates.
+  /// Appends one record to `node`'s ring. node >= num_nodes selects a system
+  /// ring: `kSystemNode - s` maps to system ring s (anything out of range
+  /// falls back to system ring 0). Never allocates.
   void record(std::uint16_t node, Category cat, std::uint8_t code, std::uint64_t a,
               std::uint64_t b) {
-    Ring& r = rings_[node < num_nodes_ ? node : num_nodes_];
+    Ring& r = rings_[ring_index(node)];
     EventRecord& e = r.buf[static_cast<std::size_t>(r.written % capacity_)];
-    e.t_ns = sim_ != nullptr ? sim_->now().ns() : 0;
+    const sim::Simulator* clk = thread_clock();
+    if (clk == nullptr) clk = sim_;
+    e.t_ns = clk != nullptr ? clk->now().ns() : 0;
     e.a = a;
     e.b = b;
     e.node = node;
@@ -107,6 +132,7 @@ class Recorder {
   /// Records lost to ring wrap-around (oldest history overwritten).
   [[nodiscard]] std::uint64_t overwritten() const;
   [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::size_t system_rings() const { return system_rings_; }
   [[nodiscard]] std::size_t ring_capacity() const { return capacity_; }
 
   /// Writes merged() as a binary trace file (magic + version + records).
@@ -123,10 +149,17 @@ class Recorder {
     std::uint64_t written = 0;  // total records ever written to this ring
   };
 
+  [[nodiscard]] std::size_t ring_index(std::uint16_t node) const {
+    if (node < num_nodes_) return node;
+    const std::size_t s = static_cast<std::size_t>(kSystemNode - node);
+    return num_nodes_ + (s < system_rings_ ? s : 0);
+  }
+
   const sim::Simulator* sim_ = nullptr;
   std::size_t num_nodes_;
   std::size_t capacity_;
-  std::vector<Ring> rings_;  // [0..num_nodes_) per node, [num_nodes_] system
+  std::size_t system_rings_;
+  std::vector<Ring> rings_;  // [0..num_nodes_) per node, then the system rings
   std::unordered_set<std::uint64_t> sampled_;
   bool sample_all_ = false;
 };
@@ -143,6 +176,23 @@ class ScopedRecorder {
  private:
   Recorder* previous_;
 };
+
+}  // namespace son::obs
+
+namespace son::sim {
+class ShardedKernel;
+}  // namespace son::sim
+
+namespace son::obs {
+
+/// Propagates observability into a sharded kernel's workers: at each run the
+/// kernel snapshots the calling thread's installed Recorder/CounterRegistry
+/// and re-installs them on whichever thread executes a partition slice, with
+/// the recorder's thread clock set to that partition's simulator (so records
+/// carry partition time). Call once per kernel, any time before a run; later
+/// ScopedRecorder installs are picked up because the snapshot happens per
+/// run, not at bind time. Inert as always: binding never perturbs results.
+void bind_worker_observability(sim::ShardedKernel& kernel);
 
 }  // namespace son::obs
 

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 
+#include "overlay/sharded.hpp"
+#include "sim/shard.hpp"
+
 namespace son::overlay {
 
-OverlayNetwork::OverlayNetwork(sim::Simulator& sim, net::Internet& internet,
-                               topo::Graph overlay_topology, std::vector<net::HostId> hosts,
-                               const NodeConfig& cfg, sim::Rng rng)
-    : sim_{sim}, graph_{std::move(overlay_topology)} {
+void OverlayNetwork::build_nodes(net::Internet& internet, const std::vector<net::HostId>& hosts,
+                                 const NodeConfig& cfg,
+                                 const std::function<sim::Simulator&(NodeId)>& sim_of,
+                                 const std::function<sim::Rng(NodeId)>& rng_of) {
   const std::size_t n = graph_.num_nodes();
   nodes_.reserve(n);
   for (NodeId id = 0; id < n; ++id) {
@@ -25,10 +28,31 @@ OverlayNetwork::OverlayNetwork(sim::Simulator& sim, net::Internet& internet,
       }
       neighbors.push_back(std::move(spec));
     }
-    nodes_.push_back(std::make_unique<OverlayNode>(sim, internet, hosts[id], id, graph_,
-                                                   std::move(neighbors), cfg,
-                                                   rng.fork(0x4000 + id)));
+    nodes_.push_back(std::make_unique<OverlayNode>(sim_of(id), internet, hosts[id], id, graph_,
+                                                   std::move(neighbors), cfg, rng_of(id)));
   }
+}
+
+OverlayNetwork::OverlayNetwork(sim::Simulator& sim, net::Internet& internet,
+                               topo::Graph overlay_topology, std::vector<net::HostId> hosts,
+                               const NodeConfig& cfg, sim::Rng rng)
+    : sim_{sim}, graph_{std::move(overlay_topology)} {
+  build_nodes(internet, hosts, cfg, [&sim](NodeId) -> sim::Simulator& { return sim; },
+              [&rng](NodeId id) { return rng.fork(0x4000 + id); });
+}
+
+OverlayNetwork::OverlayNetwork(sim::ShardedKernel& kernel, net::Internet& internet,
+                               topo::Graph overlay_topology, std::vector<net::HostId> hosts,
+                               const NodeConfig& cfg, std::uint64_t seed)
+    : sim_{kernel.control_sim()}, kernel_{&kernel}, graph_{std::move(overlay_topology)} {
+  build_nodes(internet, hosts, cfg,
+              [&internet, &hosts](NodeId id) -> sim::Simulator& {
+                return internet.host_sim(hosts[id]);
+              },
+              [&internet, &hosts, seed](NodeId id) {
+                return sim::component_stream(seed, internet.host_partition(hosts[id]),
+                                             kStreamNode, id);
+              });
 }
 
 OverlayNetwork::OverlayNetwork(sim::Simulator& sim, net::Internet& internet,
@@ -43,7 +67,11 @@ void OverlayNetwork::start() {
 
 void OverlayNetwork::settle(sim::Duration how_long) {
   start();
-  sim_.run_for(how_long);
+  if (kernel_ != nullptr) {
+    kernel_->run_for(how_long);
+  } else {
+    sim_.run_for(how_long);
+  }
 }
 
 GraphFixture build_graph_fixture(sim::Simulator& sim, const topo::Graph& g,

@@ -9,6 +9,10 @@
 #include "overlay/node.hpp"
 #include "topo/backbones.hpp"
 
+namespace son::sim {
+class ShardedKernel;
+}  // namespace son::sim
+
 namespace son::overlay {
 
 class OverlayNetwork {
@@ -26,6 +30,15 @@ class OverlayNetwork {
   OverlayNetwork(sim::Simulator& sim, net::Internet& internet, const topo::BackboneMap& map,
                  const topo::BuiltUnderlay& underlay, const NodeConfig& cfg, sim::Rng rng);
 
+  /// Sharded deployment over an internet with enable_sharding() applied:
+  /// node i lives on hosts[i]'s partition simulator, and its RNG comes from
+  /// sim::component_stream keyed by (partition, node) — NOT from a sequential
+  /// fork chain — so node randomness is a pure function of the partition
+  /// structure, independent of construction order and worker count.
+  OverlayNetwork(sim::ShardedKernel& kernel, net::Internet& internet,
+                 topo::Graph overlay_topology, std::vector<net::HostId> hosts,
+                 const NodeConfig& cfg, std::uint64_t seed);
+
   /// Starts every node (hellos, state flooding).
   void start();
   /// Starts (if needed) and runs the simulator long enough for hellos, LSAs
@@ -38,7 +51,16 @@ class OverlayNetwork {
   sim::Simulator& simulator() { return sim_; }
 
  private:
+  /// Shared deployment loop; `sim_of` / `rng_of` pick each node's simulator
+  /// and randomness (the only things the monolithic and sharded paths differ
+  /// in).
+  void build_nodes(net::Internet& internet, const std::vector<net::HostId>& hosts,
+                   const NodeConfig& cfg,
+                   const std::function<sim::Simulator&(NodeId)>& sim_of,
+                   const std::function<sim::Rng(NodeId)>& rng_of);
+
   sim::Simulator& sim_;
+  sim::ShardedKernel* kernel_ = nullptr;  // set iff sharded-deployed
   topo::Graph graph_;
   std::vector<std::unique_ptr<OverlayNode>> nodes_;
 };

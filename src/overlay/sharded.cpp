@@ -1,0 +1,23 @@
+#include "overlay/sharded.hpp"
+
+#include "obs/recorder.hpp"
+
+namespace son::overlay {
+
+ShardedMapFixture build_sharded_map(const topo::BackboneMap& map, const ShardedMapOptions& opts,
+                                    std::uint64_t seed) {
+  ShardedMapFixture fx;
+  fx.kernel = std::make_unique<sim::ShardedKernel>(map.cities.size(), opts.workers);
+  fx.internet = std::make_unique<net::Internet>(
+      fx.kernel->control_sim(), sim::component_stream(seed, 0, kStreamInternet, 0), opts.net);
+  fx.underlay = topo::build_dual_isp(*fx.internet, map, opts.underlay);
+  fx.plan = topo::partition_by_site(*fx.internet, fx.underlay);
+  fx.internet->enable_sharding(*fx.kernel, fx.plan);
+  obs::bind_worker_observability(*fx.kernel);
+  fx.overlay = std::make_unique<OverlayNetwork>(
+      *fx.kernel, *fx.internet, topo::overlay_graph(map, opts.underlay.route_inflation),
+      fx.underlay.hosts, opts.node, seed);
+  return fx;
+}
+
+}  // namespace son::overlay

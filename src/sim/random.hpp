@@ -100,4 +100,20 @@ class Rng {
   std::uint64_t inc_;
 };
 
+/// RNG stream for one simulated component, keyed by its FIXED coordinates:
+/// (partition, component kind, node/instance). The key deliberately excludes
+/// anything about the execution layout — worker-thread count, shard-to-worker
+/// mapping, construction order — so a node draws the identical sequence
+/// whether the run uses 1 worker or K. (Deriving streams by forking per shard
+/// in shard order would leak the layout into the stream: the sharded-kernel
+/// determinism contract forbids that, and the layout-regression test in
+/// test_sim_shard.cpp demonstrates the failure mode.)
+[[nodiscard]] inline Rng component_stream(std::uint64_t seed, std::uint32_t partition,
+                                          std::uint32_t component, std::uint64_t node) {
+  return Rng{seed, /*stream=*/0x50A7}
+      .fork(0xC0DE000000000000ULL | partition)
+      .fork(0xC07F000000000000ULL | component)
+      .fork(node);
+}
+
 }  // namespace son::sim

@@ -14,6 +14,18 @@ std::uint64_t Simulator::run() {
   return n;
 }
 
+std::uint64_t Simulator::run_before(TimePoint bound) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && queue_.next_time() < bound) {
+    auto [time, cb] = queue_.pop();
+    now_ = time;
+    cb();
+    ++n;
+  }
+  fired_ += n;
+  return n;
+}
+
 std::uint64_t Simulator::run_until(TimePoint deadline) {
   std::uint64_t n = 0;
   while (!queue_.empty() && queue_.next_time() <= deadline) {

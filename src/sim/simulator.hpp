@@ -42,8 +42,20 @@ class Simulator {
   /// now() still advances to deadline). Returns events fired.
   std::uint64_t run_until(TimePoint deadline);
 
+  /// Runs events with time strictly < bound and leaves now() at the last
+  /// fired event (it does NOT advance to bound). The sharded kernel advances
+  /// each partition in rounds whose right edge must stay open: an event at
+  /// exactly the horizon may still be preceded by a same-instant cross-shard
+  /// arrival, so it belongs to a later round. Returns events fired.
+  std::uint64_t run_before(TimePoint bound);
+
   /// Convenience: run_until(now() + d).
   std::uint64_t run_for(Duration d) { return run_until(now_ + d); }
+
+  /// Time of the earliest pending event, or TimePoint::max() if none.
+  [[nodiscard]] TimePoint next_event_time() const {
+    return queue_.empty() ? TimePoint::max() : queue_.next_time();
+  }
 
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t events_fired() const { return fired_; }

@@ -1,0 +1,25 @@
+#include "topo/partition.hpp"
+
+#include "sim/check.hpp"
+
+namespace son::topo {
+
+net::Internet::ShardPlan partition_by_site(const net::Internet& internet,
+                                           const BuiltUnderlay& u) {
+  net::Internet::ShardPlan plan;
+  plan.num_partitions = u.hosts.size();
+  plan.router_partition.assign(internet.num_routers(), 0);
+  plan.host_partition.assign(internet.num_hosts(), 0);
+  for (std::uint32_t c = 0; c < u.hosts.size(); ++c) {
+    SON_DCHECK(u.hosts[c] < plan.host_partition.size() &&
+                   u.routers_a[c] < plan.router_partition.size() &&
+                   u.routers_b[c] < plan.router_partition.size(),
+               "underlay ids out of range for this internet");
+    plan.host_partition[u.hosts[c]] = c;
+    plan.router_partition[u.routers_a[c]] = c;
+    plan.router_partition[u.routers_b[c]] = c;
+  }
+  return plan;
+}
+
+}  // namespace son::topo

@@ -1,0 +1,23 @@
+// Partition-by-site assignment for the sharded kernel.
+//
+// The natural cut for the paper's deployment model: each city (data center
+// site) becomes one partition, holding its overlay host and its router in
+// each ISP backbone. Every access link is then partition-internal, only
+// city-to-city fiber crosses partitions, and the crossing delay (>= ~2 ms on
+// the continental map) becomes the conservative lookahead — orders of
+// magnitude above the event granularity, which is what makes the parallelism
+// pay off.
+#pragma once
+
+#include "net/internet.hpp"
+#include "topo/backbones.hpp"
+
+namespace son::topo {
+
+/// One partition per city: hosts[c], routers_a[c], routers_b[c] → partition c.
+/// The plan is a pure function of the built topology — feeding it to
+/// Internet::enable_sharding gives results independent of the worker count.
+[[nodiscard]] net::Internet::ShardPlan partition_by_site(const net::Internet& internet,
+                                                         const BuiltUnderlay& u);
+
+}  // namespace son::topo

@@ -50,7 +50,8 @@ using OptionsDeath = ::testing::Test;
 TEST(OptionsDeath, MissingValueAtEndOfArgvExits) {
   // The regression ASan caught: "--reps" as the last argument must not read
   // argv[argc]. Every value-taking flag gets the same treatment.
-  for (const char* flag : {"--reps", "--jobs", "--seed-base", "--seeds", "--json-out"}) {
+  for (const char* flag :
+       {"--reps", "--jobs", "--shards", "--seed-base", "--seeds", "--json-out"}) {
     EXPECT_EXIT(parse_and_exit_code({"bench", flag}), ::testing::ExitedWithCode(2),
                 "needs a value")
         << flag;
@@ -73,6 +74,40 @@ TEST(OptionsDeath, MalformedSeedListsExit) {
               ::testing::ExitedWithCode(2), "bad seed list");
   EXPECT_EXIT(parse_and_exit_code({"bench", "--seeds", "1,x"}),
               ::testing::ExitedWithCode(2), "bad seed list");
+}
+
+TEST(OptionsDeath, MalformedShardsExit) {
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--shards", "x"}),
+              ::testing::ExitedWithCode(2), "bad numeric argument");
+  // strtoull would silently wrap "-1" into a huge worker count; the explicit
+  // sign check turns it into a usage error instead.
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--shards", "-1"}),
+              ::testing::ExitedWithCode(2), "non-negative");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--shards", "4096"}),
+              ::testing::ExitedWithCode(2), "too many shards");
+}
+
+TEST(Options, ShardsParsesAndResolves) {
+  {
+    Argv a{{"bench", "--shards", "4"}};
+    int argc = 0;
+    const Options o = parse(a, argc);
+    EXPECT_EQ(o.shards, 4);
+    EXPECT_EQ(o.resolved_shards(), 4u);
+    EXPECT_EQ(argc, 1);  // flag and value consumed
+  }
+  {
+    Argv a{{"bench"}};
+    int argc = 0;
+    EXPECT_EQ(parse(a, argc).shards, 1);  // default: single-threaded kernel
+  }
+  {
+    Argv a{{"bench", "--shards", "0"}};  // 0 = auto (hardware concurrency)
+    int argc = 0;
+    const Options o = parse(a, argc);
+    EXPECT_EQ(o.shards, 0);
+    EXPECT_GE(o.resolved_shards(), 1u);
+  }
 }
 
 TEST(OptionsDeath, HelpExitsZero) {

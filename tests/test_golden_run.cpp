@@ -7,13 +7,17 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstring>
 
 #include "net/internet.hpp"
 #include "obs/counters.hpp"
 #include "obs/recorder.hpp"
+#include "overlay/sharded.hpp"
 #include "sim/random.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "topo/backbones.hpp"
+#include "topo/partition.hpp"
 
 namespace son {
 namespace {
@@ -172,6 +176,168 @@ TEST(GoldenRun, BackToBackRunsAreIdentical) {
   EXPECT_EQ(a.delivered, b.delivered);
   EXPECT_EQ(a.delivery_hash, b.delivery_hash);
   EXPECT_EQ(a.last_delivery_ns, b.last_delivery_ns);
+}
+
+// ---- Sharded-kernel determinism contract -----------------------------------
+
+struct ShardedGoldenResult {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_total = 0;
+  std::uint64_t delivery_hash = 0;  // per-node FNV hashes folded in node order
+  std::int64_t last_delivery_ns = 0;
+  std::uint64_t cross_shard_pushes = 0;
+  std::uint64_t kernel_rounds = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counter_entries;
+  std::vector<obs::EventRecord> trace;
+};
+
+/// The full sharded stack on the 12-site continental map: one partition per
+/// city, overlay protocol running, CBR cross-country flows, failure bursts
+/// injected as global events, and full observability (recorder with one
+/// system ring per partition + counter registry). `workers` MUST be a pure
+/// wall-clock knob: every field of the result, down to the merged trace
+/// bytes, is compared across worker counts.
+ShardedGoldenResult run_sharded_scenario(unsigned workers) {
+  obs::Recorder rec{16, 1 << 12, /*system_rings=*/12};
+  rec.set_sample_all(true);
+  obs::ScopedRecorder rscope{rec};
+  obs::CounterRegistry reg;
+  obs::ScopedCounterRegistry cscope{reg};
+
+  overlay::ShardedMapOptions opts;
+  opts.workers = workers;
+  opts.underlay.backbone_loss = 0.01;
+  opts.underlay.skip_in_isp_a = {2, 11};
+  opts.underlay.skip_in_isp_b = {4, 7};
+  opts.underlay.peering_cities = {0, 7};
+  opts.net.convergence_delay = sim::Duration::seconds(1);
+  auto fx = overlay::build_sharded_map(topo::continental_us(), opts, 0xBEEF);
+
+  ShardedGoldenResult r;
+  const std::size_t n = fx.underlay.hosts.size();
+  // Per-node accumulators keep every handler partition-local; the fold below
+  // runs after the kernel stops, in node order.
+  std::vector<std::uint64_t> hash(n, 1469598103934665603ULL);
+  std::vector<std::int64_t> last(n, 0);
+  const auto mix = [](std::uint64_t& h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    fx.internet->bind(fx.underlay.hosts[i], 7, [&, i](const net::Datagram& d) {
+      const std::int64_t t = fx.node_sim(static_cast<overlay::NodeId>(i)).now().ns();
+      mix(hash[i], d.id);
+      mix(hash[i], static_cast<std::uint64_t>(t));
+      last[i] = t;
+    });
+  }
+
+  fx.settle(3_s);
+  const sim::TimePoint t0 = fx.kernel->now();
+
+  // Six CBR flows across the map, each ticking on ITS OWN partition's
+  // simulator — in a sharded run traffic sources live with their host.
+  struct Flow {
+    net::Internet& net;
+    sim::Simulator& sim;
+    net::HostId src, dst;
+    sim::TimePoint stop;
+    void tick() {
+      if (sim.now() >= stop) return;
+      net::Datagram d;
+      d.src = src;
+      d.dst = dst;
+      d.dst_port = 7;
+      d.size_bytes = 1400;
+      net.send(std::move(d));
+      sim.schedule(3_ms, [this]() { tick(); });
+    }
+  };
+  std::vector<std::unique_ptr<Flow>> flows;
+  for (std::size_t i = 0; i < 6; ++i) {
+    auto& sim = fx.node_sim(static_cast<overlay::NodeId>(i));
+    flows.push_back(std::make_unique<Flow>(
+        Flow{*fx.internet, sim, fx.underlay.hosts[i], fx.underlay.hosts[(i + n / 2) % n],
+             t0 + 2500_ms}));
+    sim.schedule_at(t0 + sim::Duration::microseconds(137 * (i + 1)),
+                    [f = flows.back().get()]() { f->tick(); });
+  }
+
+  // Failures are global events: they mutate shared believed/actual topology,
+  // so the kernel runs them at a barrier with all partitions quiesced.
+  auto& net = *fx.internet;
+  const auto& u = fx.underlay;
+  fx.kernel->schedule_global(t0 + 400_ms, [&]() { net.set_link_up(u.links_a[0], false); });
+  fx.kernel->schedule_global(t0 + 1000_ms, [&]() {
+    net.set_link_up(u.links_a[5], false);
+    net.set_link_up(u.links_a[8], false);
+    net.set_link_up(u.links_b[9], false);
+  });
+  fx.kernel->schedule_global(t0 + 1600_ms, [&]() { net.set_link_up(u.links_a[0], true); });
+
+  fx.kernel->run_until(t0 + 3_s);
+
+  const auto& c = net.counters();
+  r.sent = c.sent;
+  r.delivered = c.delivered;
+  for (const auto d : c.dropped) r.dropped_total += d;
+  std::uint64_t folded = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    mix(folded, hash[i]);
+    if (last[i] > r.last_delivery_ns) r.last_delivery_ns = last[i];
+  }
+  r.delivery_hash = folded;
+  for (std::uint32_t p = 0; p < 12; ++p) {
+    for (std::uint32_t q = 0; q < 12; ++q) {
+      if (const sim::ShardChannel* ch = fx.kernel->channel(p, q)) {
+        r.cross_shard_pushes += ch->total_pushed();
+      }
+    }
+  }
+  r.kernel_rounds = fx.kernel->rounds();
+  r.counter_entries = reg.entries();
+  r.trace = rec.merged();
+  return r;
+}
+
+TEST(GoldenRun, ShardedOneWorkerEqualsFour) {
+  const ShardedGoldenResult one = run_sharded_scenario(1);
+  const ShardedGoldenResult four = run_sharded_scenario(4);
+
+  // Loose sanity on the scenario itself: real traffic, real parallel
+  // structure, real drops.
+  EXPECT_GT(one.sent, 1000u);
+  EXPECT_GT(one.delivered, 0u);
+  EXPECT_GT(one.dropped_total, 0u);
+  EXPECT_GT(one.cross_shard_pushes, 0u);
+  EXPECT_GT(one.kernel_rounds, 0u);
+  EXPECT_FALSE(one.trace.empty());
+
+  // The contract: bit-identical results, stats, counters, and merged traces.
+  EXPECT_EQ(four.sent, one.sent);
+  EXPECT_EQ(four.delivered, one.delivered);
+  EXPECT_EQ(four.dropped_total, one.dropped_total);
+  EXPECT_EQ(four.delivery_hash, one.delivery_hash);
+  EXPECT_EQ(four.last_delivery_ns, one.last_delivery_ns);
+  EXPECT_EQ(four.cross_shard_pushes, one.cross_shard_pushes);
+  EXPECT_EQ(four.kernel_rounds, one.kernel_rounds);
+  EXPECT_EQ(four.counter_entries, one.counter_entries);
+  ASSERT_EQ(four.trace.size(), one.trace.size());
+  EXPECT_EQ(std::memcmp(four.trace.data(), one.trace.data(),
+                        one.trace.size() * sizeof(obs::EventRecord)),
+            0);
+}
+
+// Back-to-back threaded runs in one process: no hidden state (TLS, pool
+// reuse, ring contents) leaks between kernel lifetimes.
+TEST(GoldenRun, ShardedRunIsRepeatable) {
+  const ShardedGoldenResult a = run_sharded_scenario(2);
+  const ShardedGoldenResult b = run_sharded_scenario(2);
+  EXPECT_EQ(a.delivery_hash, b.delivery_hash);
+  EXPECT_EQ(a.counter_entries, b.counter_entries);
 }
 
 }  // namespace

@@ -67,6 +67,16 @@ double float_accum_violations(const std::vector<Metrics>& results) {
   return total_latency;
 }
 
+struct Kernel {
+  Sim& shard_sim(unsigned p);
+};
+
+void cross_shard_violations(Kernel& kernel, unsigned other) {
+  // Scheduling straight onto another partition's queue bypasses the channel
+  // lookahead bound; the event could land inside an already-committed round.
+  kernel.shard_sim(other).schedule(0, nullptr);  // cross-shard
+}
+
 void bad_suppression_violation() {
   // son-lint: allow(wall-clock)
   auto t = std::chrono::steady_clock::now();  // bad-suppression (no reason) + wall-clock

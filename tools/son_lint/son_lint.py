@@ -54,6 +54,8 @@ RULES = {
     "float-accum": "ad-hoc floating-point accumulation over trial results; fold through "
     "sim::OnlineStats/SampleSet/Histogram merge() in trial-index order instead",
     "bad-suppression": "son-lint suppression without a justification string",
+    "cross-shard": "schedules directly onto a shard simulator fetched inline; cross-partition "
+    "events must go through a ShardChannel (flushed at round boundaries) so lookahead holds",
 }
 
 SOURCE_EXTS = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h", ".ipp"}
@@ -269,6 +271,10 @@ _SIMPLE_RULES = [
             r"\b(?:std::)?(?:map|set|multimap|multiset|priority_queue)\s*<\s*"
             r"(?:const\s+)?[\w:]+(?:\s*<[^<>]*>)?\s*\*"
         ),
+    ),
+    (
+        "cross-shard",
+        re.compile(r"\bshard_sim\s*\([^)]*\)\s*(?:\.|->)\s*schedule"),
     ),
 ]
 

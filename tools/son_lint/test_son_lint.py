@@ -22,6 +22,7 @@ EXPECTED_RULES = {
     "ptr-key-order",
     "float-accum",
     "bad-suppression",
+    "cross-shard",
 }
 
 
