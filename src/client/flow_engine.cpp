@@ -1,0 +1,424 @@
+#include "client/flow_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/check.hpp"
+
+namespace son::client {
+
+std::optional<LoadCurve> LoadCurve::from_name(const std::string& name) {
+  LoadCurve c;
+  if (name == "const") {
+    c.kind = Kind::kConstant;
+    return c;
+  }
+  if (name == "diurnal") {
+    c.kind = Kind::kDiurnal;
+    return c;
+  }
+  if (name == "flash") {
+    c.kind = Kind::kFlashCrowd;
+    return c;
+  }
+  return std::nullopt;
+}
+
+double LoadCurve::scale_at(sim::TimePoint t, sim::TimePoint start) const {
+  const sim::Duration rel = t - start;
+  switch (kind) {
+    case Kind::kConstant:
+      return 1.0;
+    case Kind::kDiurnal: {
+      const double phase = 6.283185307179586 * (rel / period);
+      return std::max(0.0, 1.0 + amplitude * std::sin(phase));
+    }
+    case Kind::kFlashCrowd:
+      return (rel >= spike_after && rel < spike_after + spike_width) ? spike_factor : 1.0;
+  }
+  return 1.0;
+}
+
+FlowEngine::FlowEngine(sim::Simulator& sim, overlay::ClientEndpoint& client,
+                       FlowEngineOptions opts, sim::Rng rng)
+    : sim_{sim},
+      client_{client},
+      opts_{std::move(opts)},
+      rng_{rng},
+      obs_active_{obs::counter("client.flows_active")},
+      obs_blocked_{obs::counter("client.flows_blocked")} {
+  SON_DCHECK(!opts_.classes.empty(), "FlowEngine needs at least one FlowClass");
+  SON_DCHECK(!opts_.dests.empty(), "FlowEngine needs at least one destination");
+  SON_DCHECK(opts_.buckets > 0 && opts_.bucket_width > sim::Duration::zero(),
+             "degenerate bucket wheel");
+  bucket_width_ns_ = opts_.bucket_width.ns();
+  wheel_.resize(opts_.buckets);
+
+  payloads_.reserve(opts_.classes.size());
+  double total_weight = 0.0;
+  for (const FlowClass& c : opts_.classes) {
+    SON_DCHECK(c.rate_pps > 0.0, "flow class needs a positive rate");
+    payloads_.push_back(overlay::make_payload(c.payload_bytes));
+    total_weight += c.weight;
+    cum_weights_.push_back(total_weight);
+  }
+  SON_DCHECK(total_weight > 0.0, "flow class weights sum to zero");
+  sent_by_class_.assign(opts_.classes.size(), 0);
+  blocked_by_class_.assign(opts_.classes.size(), 0);
+
+  // Reserve every per-flow table up front: steady-state ticking then never
+  // touches the allocator, which the alloc-probe test asserts.
+  const std::size_t headroom =
+      opts_.capacity_headroom != 0 ? opts_.capacity_headroom : opts_.flows / 2 + 1024;
+  const std::size_t cap = opts_.flows + headroom;
+  fire_ns_.reserve(cap);
+  stop_ns_.reserve(cap);
+  interval_ns_.reserve(cap);
+  mean_gap_s_.reserve(cap);
+  flow_rng_.reserve(cap);
+  order_.reserve(cap);
+  seq_.reserve(cap);
+  budget_.reserve(cap);
+  tag_.reserve(cap);
+  cls_.reserve(cap);
+  dest_.reserve(cap);
+  heap_.reserve(cap + 1);
+  free_list_.reserve(cap);
+}
+
+FlowEngine::~FlowEngine() {
+  if (timer_ != sim::kInvalidEventId) (void)sim_.cancel(timer_);
+  if (start_timer_ != sim::kInvalidEventId) (void)sim_.cancel(start_timer_);
+  if (arrival_timer_ != sim::kInvalidEventId) (void)sim_.cancel(arrival_timer_);
+}
+
+std::uint32_t FlowEngine::acquire_slot() {
+  if (!free_list_.empty()) {
+    const std::uint32_t idx = free_list_.back();
+    free_list_.pop_back();
+    return idx;
+  }
+  const auto idx = static_cast<std::uint32_t>(fire_ns_.size());
+  fire_ns_.push_back(0);
+  stop_ns_.push_back(0);
+  interval_ns_.push_back(0);
+  mean_gap_s_.push_back(0.0);
+  flow_rng_.push_back(sim::Rng{});
+  order_.push_back(0);
+  seq_.push_back(0);
+  budget_.push_back(kNoBudget);
+  tag_.push_back(0);
+  cls_.push_back(0);
+  dest_.push_back(0);
+  return idx;
+}
+
+void FlowEngine::release_slot(std::uint32_t idx) { free_list_.push_back(idx); }
+
+void FlowEngine::insert_heap(std::uint32_t idx) {
+  heap_.push_back(HeapEntry{fire_ns_[idx], order_[idx], idx});
+  std::push_heap(heap_.begin(), heap_.end(), [](const HeapEntry& a, const HeapEntry& b) {
+    return a.fire_ns > b.fire_ns || (a.fire_ns == b.fire_ns && a.order > b.order);
+  });
+}
+
+void FlowEngine::insert(std::uint32_t idx) {
+  const std::int64_t b = fire_ns_[idx] / bucket_width_ns_;
+  if (b < next_bucket_) {
+    insert_heap(idx);
+  } else if (b < next_bucket_ + static_cast<std::int64_t>(wheel_.size())) {
+    wheel_[static_cast<std::size_t>(b % static_cast<std::int64_t>(wheel_.size()))].push_back(idx);
+    ++wheel_count_;
+  } else {
+    overflow_.push_back(idx);
+    overflow_min_ = std::min(overflow_min_, fire_ns_[idx]);
+  }
+}
+
+void FlowEngine::redistribute_overflow() {
+  // Compact in place: entries now inside the wheel horizon move to the wheel
+  // (or straight to the heap); the rest stay, with the min re-tracked.
+  const auto buckets = static_cast<std::int64_t>(wheel_.size());
+  std::size_t keep = 0;
+  overflow_min_ = kNever;
+  for (std::size_t i = 0; i < overflow_.size(); ++i) {
+    const std::uint32_t idx = overflow_[i];
+    const std::int64_t b = fire_ns_[idx] / bucket_width_ns_;
+    if (b < next_bucket_ + buckets) {
+      if (b < next_bucket_) {
+        insert_heap(idx);
+      } else {
+        wheel_[static_cast<std::size_t>(b % buckets)].push_back(idx);
+        ++wheel_count_;
+      }
+    } else {
+      overflow_[keep++] = idx;
+      overflow_min_ = std::min(overflow_min_, fire_ns_[idx]);
+    }
+  }
+  overflow_.resize(keep);
+}
+
+void FlowEngine::advance_to(std::int64_t now_ns) {
+  const auto buckets = static_cast<std::int64_t>(wheel_.size());
+  const std::int64_t target = now_ns / bucket_width_ns_;  // bucket containing `now`
+  while (next_bucket_ <= target) {
+    if (wheel_count_ == 0) {
+      // Nothing queued inside the horizon: fast-forward instead of walking
+      // empty buckets one by one (sparse engines, long idle gaps).
+      next_bucket_ = target + 1;
+      redistribute_overflow();
+      break;
+    }
+    auto& bkt = wheel_[static_cast<std::size_t>(next_bucket_ % buckets)];
+    for (const std::uint32_t idx : bkt) insert_heap(idx);
+    wheel_count_ -= bkt.size();
+    bkt.clear();
+    ++next_bucket_;
+    if (next_bucket_ % buckets == 0) redistribute_overflow();
+  }
+  // A due overflow entry must not wait for the next revolution boundary.
+  if (overflow_min_ <= now_ns) redistribute_overflow();
+}
+
+std::int64_t FlowEngine::peek_next_fire() const {
+  std::int64_t best = heap_.empty() ? kNever : heap_.front().fire_ns;
+  if (wheel_count_ > 0 && best > next_bucket_ * bucket_width_ns_) {
+    // Earliest possible wheel fire is the first non-empty bucket's start —
+    // conservative: the wake there collects the bucket and re-arms exactly.
+    const auto buckets = static_cast<std::int64_t>(wheel_.size());
+    for (std::int64_t b = next_bucket_; b < next_bucket_ + buckets; ++b) {
+      const std::int64_t bucket_start = b * bucket_width_ns_;
+      if (bucket_start >= best) break;
+      if (!wheel_[static_cast<std::size_t>(b % buckets)].empty()) {
+        best = bucket_start;
+        break;
+      }
+    }
+  }
+  if (!overflow_.empty()) best = std::min(best, overflow_min_);
+  return best;
+}
+
+void FlowEngine::arm() {
+  const std::int64_t next = peek_next_fire();
+  if (next == kNever) return;  // idle; a later add_flow / arrival re-arms
+  if (timer_ != sim::kInvalidEventId) {
+    if (armed_at_ <= next) return;  // existing wake is early enough
+    (void)sim_.cancel(timer_);
+  }
+  armed_at_ = next;
+  timer_ = sim_.schedule_at(sim::TimePoint::from_ns(next), [this] { on_timer(); });
+}
+
+void FlowEngine::on_timer() {
+  timer_ = sim::kInvalidEventId;
+  armed_at_ = kNever;
+  process_due();
+  arm();
+}
+
+void FlowEngine::process_due() {
+  const std::int64_t now_ns = sim_.now().ns();
+  advance_to(now_ns);
+  const auto cmp = [](const HeapEntry& a, const HeapEntry& b) {
+    return a.fire_ns > b.fire_ns || (a.fire_ns == b.fire_ns && a.order > b.order);
+  };
+  while (!heap_.empty() && heap_.front().fire_ns <= now_ns) {
+    std::pop_heap(heap_.begin(), heap_.end(), cmp);
+    const std::uint32_t idx = heap_.back().idx;
+    heap_.pop_back();
+    fire_flow(idx, now_ns);
+  }
+}
+
+void FlowEngine::fire_flow(std::uint32_t idx, std::int64_t now_ns) {
+  // Stop contract (pinned by the traffic boundary tests): no packets at or
+  // after the flow's stop time.
+  if (now_ns >= stop_ns_[idx]) {
+    retire(idx);
+    return;
+  }
+  const std::size_t c = cls_[idx];
+  const overlay::Destination& dest = opts_.dests[dest_[idx]];
+  bool admitted;
+  if (hook_ != nullptr) {
+    admitted = hook_(hook_ctx_, c, dest, sim::TimePoint::from_ns(now_ns));
+  } else if (opts_.legacy_identity) {
+    admitted = client_.send(dest, payloads_[c], opts_.classes[c].spec);
+  } else {
+    admitted = client_.send_flow(dest, payloads_[c], opts_.classes[c].spec, tag_[idx],
+                                 ++seq_[idx]);
+  }
+  if (admitted) {
+    ++totals_.sent;
+    ++sent_by_class_[c];
+  } else {
+    ++totals_.blocked;
+    ++blocked_by_class_[c];
+    obs_blocked_.add();
+  }
+  if (budget_[idx] != kNoBudget && --budget_[idx] == 0) {
+    retire(idx);
+    return;
+  }
+  std::int64_t next;
+  if (interval_ns_[idx] > 0) {
+    next = fire_ns_[idx] + interval_ns_[idx];  // CBR: exact grid, no drift
+  } else {
+    next = now_ns +
+           sim::Duration::from_seconds_f(flow_rng_[idx].exponential(mean_gap_s_[idx])).ns();
+  }
+  if (next >= stop_ns_[idx]) {
+    // Equivalent to the per-object senders' "tick past stop does nothing",
+    // minus the dead wake-up.
+    retire(idx);
+    return;
+  }
+  fire_ns_[idx] = next;
+  order_[idx] = ++order_counter_;
+  insert(idx);
+}
+
+void FlowEngine::retire(std::uint32_t idx) {
+  release_slot(idx);
+  --active_;
+  ++totals_.retired;
+  obs_active_.set(active_);
+}
+
+std::uint32_t FlowEngine::add_flow(std::size_t cls, std::size_t dest, sim::TimePoint first,
+                                   sim::TimePoint stop, sim::Rng rng) {
+  SON_DCHECK(cls < opts_.classes.size(), "flow class out of range");
+  SON_DCHECK(dest < opts_.dests.size(), "destination index out of range");
+  const FlowClass& fc = opts_.classes[cls];
+  const std::uint32_t idx = acquire_slot();
+  fire_ns_[idx] = std::max(first.ns(), sim_.now().ns());
+  stop_ns_[idx] = stop.ns();
+  if (fc.poisson) {
+    interval_ns_[idx] = 0;
+    mean_gap_s_[idx] = 1.0 / fc.rate_pps;
+  } else {
+    interval_ns_[idx] = sim::Duration::from_seconds_f(1.0 / fc.rate_pps).ns();
+    SON_DCHECK(interval_ns_[idx] > 0, "CBR inter-packet gap rounds to zero");
+  }
+  flow_rng_[idx] = rng;
+  order_[idx] = ++order_counter_;
+  seq_[idx] = 0;
+  budget_[idx] = fc.packet_budget == 0 ? kNoBudget : fc.packet_budget;
+  tag_[idx] = ++tag_counter_;
+  cls_[idx] = static_cast<std::uint8_t>(cls);
+  dest_[idx] = static_cast<std::uint16_t>(dest);
+  insert(idx);
+  ++active_;
+  peak_active_ = std::max(peak_active_, active_);
+  ++totals_.activated;
+  obs_active_.set(active_);
+  if (started_) arm();
+  return idx;
+}
+
+void FlowEngine::start() {
+  SON_DCHECK(!started_, "FlowEngine started twice");
+  started_ = true;
+  if (opts_.flows > 0) {
+    SON_DCHECK(opts_.mean_lifetime > sim::Duration::zero() ||
+                   opts_.curve.kind == LoadCurve::Kind::kConstant,
+               "non-constant load curves need flow churn (mean_lifetime > 0)");
+    start_timer_ = sim_.schedule_at(opts_.start, [this] { on_start(); });
+  } else {
+    arm();  // population was built with add_flow()
+  }
+}
+
+void FlowEngine::on_start() {
+  start_timer_ = sim::kInvalidEventId;
+  activate_batch(opts_.flows);
+  if (opts_.mean_lifetime > sim::Duration::zero()) {
+    arrival_timer_ = sim_.schedule(opts_.arrival_batch, [this] { on_arrival_tick(); });
+  }
+  process_due();  // first packets go out at the start instant itself
+  arm();
+}
+
+void FlowEngine::on_arrival_tick() {
+  arrival_timer_ = sim::kInvalidEventId;
+  const sim::TimePoint now = sim_.now();
+  if (now >= opts_.stop) return;
+  // Population target / mean lifetime = steady-state arrival rate (Little's
+  // law); the curve modulates it over time.
+  const double base_rate =
+      static_cast<double>(opts_.flows) / opts_.mean_lifetime.to_seconds_f();
+  const double lam = base_rate * opts_.curve.scale_at(now, opts_.start) *
+                     opts_.arrival_batch.to_seconds_f();
+  const std::uint64_t k = poisson_draw(lam);
+  if (k > 0) activate_batch(k);
+  arrival_timer_ = sim_.schedule(opts_.arrival_batch, [this] { on_arrival_tick(); });
+  if (k > 0) {
+    process_due();
+    arm();
+  }
+}
+
+void FlowEngine::activate_batch(std::uint64_t count) {
+  const sim::TimePoint now = sim_.now();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    // Weighted class pick, uniform destination, exponential lifetime — all
+    // drawn from the engine stream so the population is layout-independent.
+    const double u = rng_.uniform() * cum_weights_.back();
+    std::size_t c = 0;
+    while (c + 1 < cum_weights_.size() && u >= cum_weights_[c]) ++c;
+    const std::size_t d = rng_.index(opts_.dests.size());
+    sim::TimePoint stop = opts_.stop;
+    if (opts_.mean_lifetime > sim::Duration::zero()) {
+      const double life_s = rng_.exponential(opts_.mean_lifetime.to_seconds_f());
+      stop = std::min(stop, now + sim::Duration::from_seconds_f(life_s));
+    }
+    // First fires are phase-staggered across one inter-packet gap: a 10^6-flow
+    // initial batch must not stampede the network at the activation instant.
+    const sim::TimePoint first =
+        now + sim::Duration::from_seconds_f(rng_.uniform() / opts_.classes[c].rate_pps);
+    (void)add_flow(c, d, first, stop, rng_.fork(0xF10E00000000ULL + tag_counter_ + 1));
+  }
+}
+
+std::uint64_t FlowEngine::poisson_draw(double lam) {
+  if (lam <= 0.0) return 0;
+  if (lam < 32.0) {
+    // Knuth's product method — exact for small rates.
+    const double limit = std::exp(-lam);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= rng_.uniform();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation for large rates (batch arrivals at 1M-flow scale).
+  const double v = rng_.normal(lam, std::sqrt(lam));
+  return v <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(v));
+}
+
+std::size_t FlowEngine::memory_bytes() const {
+  std::size_t total = 0;
+  total += fire_ns_.capacity() * sizeof(std::int64_t);
+  total += stop_ns_.capacity() * sizeof(std::int64_t);
+  total += interval_ns_.capacity() * sizeof(std::int64_t);
+  total += mean_gap_s_.capacity() * sizeof(double);
+  total += flow_rng_.capacity() * sizeof(sim::Rng);
+  total += order_.capacity() * sizeof(std::uint64_t);
+  total += seq_.capacity() * sizeof(std::uint32_t);
+  total += budget_.capacity() * sizeof(std::uint32_t);
+  total += tag_.capacity() * sizeof(std::uint32_t);
+  total += cls_.capacity() * sizeof(std::uint8_t);
+  total += dest_.capacity() * sizeof(std::uint16_t);
+  total += heap_.capacity() * sizeof(HeapEntry);
+  total += overflow_.capacity() * sizeof(std::uint32_t);
+  total += free_list_.capacity() * sizeof(std::uint32_t);
+  total += wheel_.capacity() * sizeof(std::vector<std::uint32_t>);
+  for (const auto& bkt : wheel_) total += bkt.capacity() * sizeof(std::uint32_t);
+  return total;
+}
+
+}  // namespace son::client

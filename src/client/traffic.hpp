@@ -20,7 +20,9 @@ class CbrSender {
     double rate_pps = 1000;        // packets per second
     std::size_t payload_bytes = 1200;
     sim::TimePoint start;
-    sim::TimePoint stop;           // no packets at/after this time
+    /// No packets at/after this time: a tick landing exactly on `stop` does
+    /// not send (pinned by the traffic boundary tests; FlowEngine matches).
+    sim::TimePoint stop;
   };
 
   CbrSender(sim::Simulator& sim, overlay::ClientEndpoint& client, Options opts);
@@ -52,7 +54,7 @@ class PoissonSender {
     double rate_pps = 100;
     std::size_t payload_bytes = 400;
     sim::TimePoint start;
-    sim::TimePoint stop;
+    sim::TimePoint stop;  // same stop contract as CbrSender::Options
   };
 
   PoissonSender(sim::Simulator& sim, overlay::ClientEndpoint& client, Options opts,

@@ -81,6 +81,8 @@ Report Experiment::run() const {
   jopts["reps"] = static_cast<std::int64_t>(opts_.effective_reps());
   jopts["quick"] = opts_.quick;
   jopts["shards"] = static_cast<std::int64_t>(opts_.shards);
+  jopts["flows"] = opts_.flows;
+  jopts["load_curve"] = opts_.load_curve;
   jopts["seed_base"] = opts_.seed_base;
   Json jseeds = Json::array();
   for (const auto s : opts_.seeds) jseeds.push_back(s);

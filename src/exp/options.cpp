@@ -18,6 +18,10 @@ namespace {
       "  --jobs N        worker threads (default: hardware concurrency)\n"
       "  --shards N      sharded-kernel workers per trial (default 1;\n"
       "                  0 = hardware concurrency; results never depend on N)\n"
+      "  --flows N       concurrent flows per trial via the flyweight flow\n"
+      "                  engine (default 0 = legacy per-object senders)\n"
+      "  --load-curve C  arrival-rate curve for --flows workloads:\n"
+      "                  const | diurnal | flash (default const)\n"
       "  --json-out P    write the JSON report to P (default BENCH_%s.json)\n"
       "  --no-json       do not write a JSON report\n"
       "  --quick         reduced durations/replications (CI smoke mode)\n"
@@ -100,6 +104,28 @@ Options Options::parse(int& argc, char** argv, std::string bench_name, int defau
         usage(o, 2);
       }
       o.shards = static_cast<int>(n);
+    } else if (std::strcmp(arg, "--flows") == 0) {
+      const char* v = value();
+      // Same sign discipline as --shards: strtoull would wrap "-1" silently.
+      if (v[0] == '-' || v[0] == '+') {
+        std::fprintf(stderr, "--flows must be a non-negative integer, got '%s'\n", v);
+        usage(o, 2);
+      }
+      const std::uint64_t n = parse_u64(v, o);
+      if (n > 100'000'000) {
+        std::fprintf(stderr, "--flows %llu: too many flows\n",
+                     static_cast<unsigned long long>(n));
+        usage(o, 2);
+      }
+      o.flows = static_cast<std::int64_t>(n);
+    } else if (std::strcmp(arg, "--load-curve") == 0) {
+      const char* v = value();
+      if (std::strcmp(v, "const") != 0 && std::strcmp(v, "diurnal") != 0 &&
+          std::strcmp(v, "flash") != 0) {
+        std::fprintf(stderr, "--load-curve must be const, diurnal or flash, got '%s'\n", v);
+        usage(o, 2);
+      }
+      o.load_curve = v;
     } else if (std::strcmp(arg, "--seed-base") == 0) {
       o.seed_base = parse_u64(value(), o);
     } else if (std::strcmp(arg, "--seeds") == 0) {

@@ -6,6 +6,9 @@
 //   --seed-base S   seed for replication 0; replication i uses S+i
 //   --jobs N        worker threads (default: hardware_concurrency)
 //   --shards N      sharded-kernel worker threads (0 = hardware_concurrency)
+//   --flows N       concurrent flows via the flyweight FlowEngine (0 = legacy
+//                   per-object senders)
+//   --load-curve C  arrival-rate curve for --flows: const | diurnal | flash
 //   --json-out P    report path (default BENCH_<name>.json in the cwd)
 //   --no-json       skip writing the report
 //   --quick         reduced durations/replications for CI smoke runs
@@ -26,6 +29,12 @@ struct Options {
   /// sharded kernel single-threaded; 0 = one worker per hardware thread.
   /// Results are worker-count-invariant — this is purely a wall-clock knob.
   int shards = 1;
+  /// Concurrent flows per trial, driven by client::FlowEngine flow tables
+  /// (the --flows flag). 0 = the bench's legacy per-object senders.
+  std::int64_t flows = 0;
+  /// Arrival-rate curve for FlowEngine workloads (the --load-curve flag):
+  /// "const", "diurnal" or "flash". Validated at parse time.
+  std::string load_curve = "const";
   std::uint64_t seed_base = 1;
   std::vector<std::uint64_t> seeds;  // explicit --seeds list, if given
   bool quick = false;

@@ -22,6 +22,7 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -40,11 +41,19 @@ class CounterRegistry {
   static CounterRegistry* swap_current(CounterRegistry* reg);
 
   /// Returns the slot for `name`, creating it at zero on first use. The
-  /// returned pointer stays valid for the registry's lifetime.
-  [[nodiscard]] Slot* slot(const std::string& name) { return &counters_[name]; }
+  /// returned pointer stays valid for the registry's lifetime (map node
+  /// addresses are stable under insertion). Creation is mutex-guarded: link
+  /// protocol endpoints are constructed lazily on first send, which in a
+  /// sharded run can happen on any worker thread — only the slot lookup
+  /// locks, never the hot-path atomic bumps.
+  [[nodiscard]] Slot* slot(const std::string& name) {
+    const std::lock_guard<std::mutex> lock{mu_};
+    return &counters_[name];
+  }
 
   /// All counters in name order (deterministic snapshot order).
   [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> entries() const {
+    const std::lock_guard<std::mutex> lock{mu_};
     std::vector<std::pair<std::string, std::uint64_t>> out;
     out.reserve(counters_.size());
     for (const auto& [name, v] : counters_) {
@@ -54,13 +63,18 @@ class CounterRegistry {
   }
 
   [[nodiscard]] std::uint64_t value(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock{mu_};
     auto it = counters_.find(name);
     return it != counters_.end() ? it->second.load(std::memory_order_relaxed) : 0;
   }
 
-  [[nodiscard]] std::size_t size() const { return counters_.size(); }
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock{mu_};
+    return counters_.size();
+  }
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, Slot> counters_;
 };
 

@@ -144,6 +144,18 @@ bool ClientEndpoint::send_with_origin(const Destination& dest, Payload payload,
   return node_.client_send(*this, dest, std::move(payload), spec, origin_time);
 }
 
+bool ClientEndpoint::send_flow(const Destination& dest, Payload payload, const ServiceSpec& spec,
+                               std::uint32_t flow_tag, std::uint64_t flow_seq) {
+  // Tagged flow identity: fold the engine's per-flow tag into the ordinary
+  // (origin, port, dest) key so concurrent flows through one endpoint get
+  // distinct keys without any per-flow endpoint state. The 0xF10E salt keeps
+  // tagged keys out of the untagged keyspace.
+  const std::uint64_t key = hash_mix(flow_key_of(node_.id(), port_, dest) ^
+                                     (0xF10EULL << 48) ^ flow_tag);
+  return node_.client_send_impl(*this, dest, std::move(payload), spec, node_.sim_.now(), key,
+                                flow_seq);
+}
+
 void ClientEndpoint::join(GroupId g) {
   if (std::find(joined_.begin(), joined_.end(), g) == joined_.end()) {
     joined_.push_back(g);
@@ -176,12 +188,22 @@ void OverlayNode::refresh_group_ad() {
 
 bool OverlayNode::client_send(ClientEndpoint& client, const Destination& dest, Payload payload,
                               const ServiceSpec& spec, sim::TimePoint origin_time) {
+  const std::uint64_t flow_key = flow_key_of(id_, client.port_, dest);
+  const std::uint64_t flow_seq = ++client.flow_seq_[flow_key];
+  return client_send_impl(client, dest, std::move(payload), spec, origin_time, flow_key,
+                          flow_seq);
+}
+
+bool OverlayNode::client_send_impl(ClientEndpoint& client, const Destination& dest,
+                                   Payload payload, const ServiceSpec& spec,
+                                   sim::TimePoint origin_time, std::uint64_t flow_key,
+                                   std::uint64_t flow_seq) {
   Message msg;
   msg.hdr.origin = id_;
   msg.hdr.src_port = client.port_;
   msg.hdr.dest = dest;
-  msg.hdr.flow_key = flow_key_of(id_, client.port_, dest);
-  msg.hdr.flow_seq = ++client.flow_seq_[msg.hdr.flow_key];
+  msg.hdr.flow_key = flow_key;
+  msg.hdr.flow_seq = flow_seq;
   msg.hdr.origin_id = (std::uint64_t{id_} << 48) | next_origin_counter_++;
   msg.hdr.scheme = spec.scheme;
   msg.hdr.link_protocol = spec.link_protocol;
@@ -260,22 +282,26 @@ void OverlayNode::deliver_to_client(const Message& msg) {
   ++stats_.delivered_local;
 
   // Flow-based accounting (§II-C): per-flow state at the terminating node.
-  FlowStats& fs = flow_stats_[msg.hdr.flow_key];
-  if (fs.delivered == 0) {
-    fs.origin = msg.hdr.origin;
-    fs.src_port = msg.hdr.src_port;
-    fs.dest = msg.hdr.dest;
-    fs.link_protocol = msg.hdr.link_protocol;
-    fs.scheme = msg.hdr.scheme;
-    fs.ewma_latency = latency;
+  // Optional because the map grows with distinct flow keys — at 1M+ tagged
+  // flows it would dominate node memory (cfg_.session_flow_accounting).
+  if (cfg_.session_flow_accounting) {
+    FlowStats& fs = flow_stats_[msg.hdr.flow_key];
+    if (fs.delivered == 0) {
+      fs.origin = msg.hdr.origin;
+      fs.src_port = msg.hdr.src_port;
+      fs.dest = msg.hdr.dest;
+      fs.link_protocol = msg.hdr.link_protocol;
+      fs.scheme = msg.hdr.scheme;
+      fs.ewma_latency = latency;
+    }
+    ++fs.delivered;
+    fs.bytes += msg.payload_size();
+    if (msg.hdr.flow_seq > fs.highest_seq + 1 && fs.delivered > 1) ++fs.gaps;
+    fs.highest_seq = std::max(fs.highest_seq, msg.hdr.flow_seq);
+    fs.ewma_latency = fs.ewma_latency * 0.875 + latency * 0.125;
+    fs.max_latency = std::max(fs.max_latency, latency);
+    fs.last_delivery = sim_.now();
   }
-  ++fs.delivered;
-  fs.bytes += msg.payload_size();
-  if (msg.hdr.flow_seq > fs.highest_seq + 1 && fs.delivered > 1) ++fs.gaps;
-  fs.highest_seq = std::max(fs.highest_seq, msg.hdr.flow_seq);
-  fs.ewma_latency = fs.ewma_latency * 0.875 + latency * 0.125;
-  fs.max_latency = std::max(fs.max_latency, latency);
-  fs.last_delivery = sim_.now();
   switch (msg.hdr.dest.kind) {
     case Destination::Kind::kUnicast: {
       const auto it = clients_.find(msg.hdr.dest.port);

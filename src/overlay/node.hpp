@@ -67,6 +67,12 @@ struct NodeConfig {
   /// in parallel").
   std::uint16_t daemon_port = 8100;
 
+  /// Per-flow accounting at the terminating session interface
+  /// (session_flows()). At millions of concurrent flows the per-flow map
+  /// dominates node memory, so heavy aggregate workloads switch it off;
+  /// delivery, client handlers and node-level counters are unaffected.
+  bool session_flow_accounting = true;
+
   LinkProtocolConfig link_protocols;
 };
 
@@ -87,6 +93,13 @@ class ClientEndpoint {
   /// transformation included.
   bool send_with_origin(const Destination& dest, Payload payload, const ServiceSpec& spec,
                         sim::TimePoint origin_time);
+  /// Flyweight path used by client::FlowEngine. The caller supplies a
+  /// per-flow tag (distinguishing concurrent flows that share this endpoint
+  /// and destination) and carries the flow's sequence numbers itself, so the
+  /// endpoint keeps NO per-flow state — one endpoint can originate millions
+  /// of flows. Service selection and routing behave exactly like send().
+  bool send_flow(const Destination& dest, Payload payload, const ServiceSpec& spec,
+                 std::uint32_t flow_tag, std::uint64_t flow_seq);
   void join(GroupId g);
   void leave(GroupId g);
 
@@ -243,6 +256,12 @@ class OverlayNode {
   // --- Session level ---
   bool client_send(ClientEndpoint& client, const Destination& dest, Payload payload,
                    const ServiceSpec& spec, sim::TimePoint origin_time);
+  /// Shared origination body: flow identity (key + seq) is supplied by the
+  /// caller — client_send derives it from the endpoint's per-flow map,
+  /// send_flow from the FlowEngine's tagged SoA tables.
+  bool client_send_impl(ClientEndpoint& client, const Destination& dest, Payload payload,
+                        const ServiceSpec& spec, sim::TimePoint origin_time,
+                        std::uint64_t flow_key, std::uint64_t flow_seq);
   void refresh_group_ad();
   void deliver_to_session(const Message& msg);
   void deliver_to_client(const Message& msg);

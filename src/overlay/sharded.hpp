@@ -22,6 +22,7 @@ namespace son::overlay {
 /// derivation shared by every sharded deployment.
 inline constexpr std::uint32_t kStreamInternet = 1;
 inline constexpr std::uint32_t kStreamNode = 2;
+inline constexpr std::uint32_t kStreamFlowEngine = 3;
 
 struct ShardedMapOptions {
   /// Executor threads (clamped to the partition count). Results never depend

@@ -50,8 +50,8 @@ using OptionsDeath = ::testing::Test;
 TEST(OptionsDeath, MissingValueAtEndOfArgvExits) {
   // The regression ASan caught: "--reps" as the last argument must not read
   // argv[argc]. Every value-taking flag gets the same treatment.
-  for (const char* flag :
-       {"--reps", "--jobs", "--shards", "--seed-base", "--seeds", "--json-out"}) {
+  for (const char* flag : {"--reps", "--jobs", "--shards", "--flows", "--load-curve",
+                           "--seed-base", "--seeds", "--json-out"}) {
     EXPECT_EXIT(parse_and_exit_code({"bench", flag}), ::testing::ExitedWithCode(2),
                 "needs a value")
         << flag;
@@ -85,6 +85,47 @@ TEST(OptionsDeath, MalformedShardsExit) {
               ::testing::ExitedWithCode(2), "non-negative");
   EXPECT_EXIT(parse_and_exit_code({"bench", "--shards", "4096"}),
               ::testing::ExitedWithCode(2), "too many shards");
+}
+
+TEST(OptionsDeath, MalformedFlowsExit) {
+  // Same discipline as --shards: reject garbage, wrapped negatives and
+  // absurd counts instead of limping on.
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--flows", "x"}),
+              ::testing::ExitedWithCode(2), "bad numeric argument");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--flows", "-1"}),
+              ::testing::ExitedWithCode(2), "non-negative");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--flows", "200000000"}),
+              ::testing::ExitedWithCode(2), "too many flows");
+}
+
+TEST(OptionsDeath, UnknownLoadCurveExits) {
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--load-curve", "sawtooth"}),
+              ::testing::ExitedWithCode(2), "const, diurnal or flash");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--load-curve", ""}),
+              ::testing::ExitedWithCode(2), "const, diurnal or flash");
+}
+
+TEST(Options, FlowsAndLoadCurveParse) {
+  {
+    Argv a{{"bench", "--flows", "100000", "--load-curve", "flash"}};
+    int argc = 0;
+    const Options o = parse(a, argc);
+    EXPECT_EQ(o.flows, 100000);
+    EXPECT_EQ(o.load_curve, "flash");
+    EXPECT_EQ(argc, 1);  // all four tokens consumed
+  }
+  {
+    Argv a{{"bench"}};
+    int argc = 0;
+    const Options o = parse(a, argc);
+    EXPECT_EQ(o.flows, 0);  // default: legacy per-object senders
+    EXPECT_EQ(o.load_curve, "const");
+  }
+  for (const char* name : {"const", "diurnal", "flash"}) {
+    Argv a{{"bench", "--load-curve", name}};
+    int argc = 0;
+    EXPECT_EQ(parse(a, argc).load_curve, name);
+  }
 }
 
 TEST(Options, ShardsParsesAndResolves) {
