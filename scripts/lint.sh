@@ -23,6 +23,26 @@ else
   status=1
 fi
 
+echo "== son-analyze (whole-program: shard confinement, timers, hot paths) =="
+if command -v python3 >/dev/null 2>&1; then
+  mkdir -p "$BUILD_DIR"
+  analyze_args=(--root "$ROOT"
+                --json "$BUILD_DIR/son_analyze_report.json"
+                --sarif "$BUILD_DIR/son_analyze.sarif")
+  # A configured build narrows the file set to what actually compiles (and
+  # pulls in headers via the include closure); without one, fall back to the
+  # src/ + bench/ tree walk.
+  if [ -f "$BUILD_DIR/compile_commands.json" ]; then
+    analyze_args+=(--compdb "$BUILD_DIR/compile_commands.json")
+  else
+    analyze_args+=(src bench)
+  fi
+  python3 "$ROOT/tools/son_analyze/son_analyze.py" "${analyze_args[@]}" || status=1
+else
+  echo "python3 not found — cannot run son-analyze" >&2
+  status=1
+fi
+
 echo "== clang-tidy =="
 if command -v clang-tidy >/dev/null 2>&1; then
   if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then

@@ -32,6 +32,7 @@
 
 #include "obs/counters.hpp"
 #include "overlay/node.hpp"
+#include "sim/hot.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -177,9 +178,9 @@ class FlowEngine {
   void redistribute_overflow();
   [[nodiscard]] std::int64_t peek_next_fire() const;
   void arm();
-  void on_timer();
-  void process_due();
-  void fire_flow(std::uint32_t idx, std::int64_t now_ns);
+  SON_HOT void on_timer();
+  SON_HOT void process_due();
+  SON_HOT void fire_flow(std::uint32_t idx, std::int64_t now_ns);
   void retire(std::uint32_t idx);
   void on_start();
   void on_arrival_tick();

@@ -309,6 +309,7 @@ void Internet::forward(Datagram d, RouterId at, RoutePtr path, std::size_t idx,
     // floor + min crossing prop_delay, and `when` adds the router latency.
     sim::ShardChannel* ch = ps.out[pn];
     SON_DCHECK(ch != nullptr, "cross-partition hop with no registered channel");
+    // son-analyze: allow(hot-path-alloc) "ShardChannel::push is the sanctioned cross-partition carrier (see shard.hpp)"
     ch->push(when, std::move(cont));
   }
 }

@@ -22,6 +22,7 @@
 #include "net/packet.hpp"
 #include "net/types.hpp"
 #include "obs/counters.hpp"
+#include "sim/hot.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -244,8 +245,8 @@ class Internet {
   bool resolve_attachments(const PartState& ps, HostId src, HostId dst, const SendOptions& opts,
                            AttachIndex& si, AttachIndex& di, IspId& constraint) const;
 
-  void forward(Datagram d, RouterId at, RoutePtr path, std::size_t idx, AttachIndex dst_attach,
-               std::uint8_t ttl);
+  SON_HOT void forward(Datagram d, RouterId at, RoutePtr path, std::size_t idx,
+                       AttachIndex dst_attach, std::uint8_t ttl);
   void deliver(const Datagram& d, AttachIndex dst_attach);
   void drop(PartState& ps, const Datagram& d, DropReason reason);
   /// Schedules control-plane convergence after a topology change. Changes

@@ -3,6 +3,7 @@
 namespace son::obs {
 namespace {
 
+// son-analyze: allow(mutable-static) "per-thread install pointer scoped by CounterScope; single-writer by construction"
 thread_local CounterRegistry* g_current = nullptr;
 
 }  // namespace

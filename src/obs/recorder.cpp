@@ -12,8 +12,10 @@ namespace {
 
 // Thread-local so each experiment trial (one trial per worker thread) can
 // install its own recorder without any cross-thread coordination.
+// son-analyze: allow(mutable-static) "one trial per worker thread; thread_local pointer is single-writer by construction"
 thread_local Recorder* g_current = nullptr;
 // Per-thread clock override for sharded runs (see Recorder::swap_thread_clock).
+// son-analyze: allow(mutable-static) "per-thread clock override written only by the owning shard worker"
 thread_local const sim::Simulator* g_thread_clock = nullptr;
 
 constexpr char kMagic[8] = {'S', 'O', 'N', 'T', 'R', 'A', 'C', 'E'};

@@ -374,9 +374,11 @@ bool OverlayNode::route_message_impl(Message msg, LinkBit arrived_on, bool skip_
         return true;  // silently swallowed
       }
       if (compromise_.added_delay > sim::Duration::zero()) {
-        sim_.schedule(compromise_.added_delay, [this, msg = std::move(msg), arrived_on]() {
-          route_message_impl(msg, arrived_on, /*skip_compromise=*/true);
-        });
+        sim_.schedule(
+            compromise_.added_delay,
+            timer_guard_.wrap([this, msg = std::move(msg), arrived_on]() {
+              route_message_impl(msg, arrived_on, /*skip_compromise=*/true);
+            }));
         return true;
       }
     }
@@ -494,12 +496,13 @@ void OverlayNode::send_frame_on_link(NeighborLink& nl, LinkFrame f) {
   ++stats_.frames_sent;
 
   // The user-level stack traversal cost (§II-D): well under 1 ms per node.
-  sim_.schedule(cfg_.processing_delay, [this, d = std::move(d), attach]() mutable {
-    net::Internet::SendOptions opts;
-    opts.src_attach = attach.local;
-    opts.dst_attach = attach.remote;
-    internet_.send(std::move(d), opts);
-  });
+  sim_.schedule(cfg_.processing_delay,
+                timer_guard_.wrap([this, d = std::move(d), attach]() mutable {
+                  net::Internet::SendOptions opts;
+                  opts.src_attach = attach.local;
+                  opts.dst_attach = attach.remote;
+                  internet_.send(std::move(d), opts);
+                }));
 }
 
 void OverlayNode::set_crashed(bool crashed) { crashed_ = crashed; }

@@ -22,6 +22,7 @@
 #include "overlay/reorder_buffer.hpp"
 #include "overlay/routing.hpp"
 #include "sim/random.hpp"
+#include "sim/timer_guard.hpp"
 #include "sim/trace.hpp"
 
 namespace son::overlay {
@@ -329,6 +330,9 @@ class OverlayNode {
   sim::EventId hello_timer_ = sim::kInvalidEventId;
   sim::EventId refresh_timer_ = sim::kInvalidEventId;
   std::vector<sim::EventId> flood_timers_;
+  // Makes fire-and-forget delay hops (compromise delay, processing delay)
+  // inert after this node is destroyed; their EventIds are not tracked.
+  sim::TimerGuard timer_guard_;
   bool started_ = false;
 
   NodeStats stats_;

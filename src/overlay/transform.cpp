@@ -22,10 +22,12 @@ void FlowTransformer::on_input(const Message& m) {
     ++stats_.filtered;
     return;
   }
-  sim_.schedule(opts_.processing, [this, out = std::move(out), t0 = m.hdr.origin_time]() {
-    endpoint_.send_with_origin(opts_.out, out, opts_.out_spec, t0);
-    ++stats_.produced;
-  });
+  sim_.schedule(opts_.processing,
+                timer_guard_.wrap([this, out = std::move(out),
+                                   t0 = m.hdr.origin_time]() {
+                  endpoint_.send_with_origin(opts_.out, out, opts_.out_spec, t0);
+                  ++stats_.produced;
+                }));
 }
 
 }  // namespace son::overlay

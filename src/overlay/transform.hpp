@@ -17,6 +17,7 @@
 #include <functional>
 
 #include "overlay/node.hpp"
+#include "sim/timer_guard.hpp"
 
 namespace son::overlay {
 
@@ -56,6 +57,9 @@ class FlowTransformer {
   TransformFn fn_;
   ClientEndpoint& endpoint_;
   Stats stats_;
+  // In-flight processing-delay republishes become inert if the transformer
+  // is destroyed mid-flow; their EventIds are deliberately not tracked.
+  sim::TimerGuard timer_guard_;
 };
 
 }  // namespace son::overlay

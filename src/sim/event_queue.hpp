@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/callback.hpp"
+#include "sim/hot.hpp"
 #include "sim/time.hpp"
 
 namespace son::sim {
@@ -32,19 +33,19 @@ class EventQueue {
   /// Schedules `cb` to fire at `when`. Returns an id usable with cancel();
   /// discarding it forfeits the only handle to the event, so callers that
   /// never cancel must say so explicitly (assign to a discarded value).
-  [[nodiscard]] EventId schedule(TimePoint when, Callback cb);
+  SON_HOT [[nodiscard]] EventId schedule(TimePoint when, Callback cb);
 
   /// Cancels a pending event. Cancelling an already-fired or already-
   /// cancelled event is a harmless no-op. Returns true if it was pending —
   /// callers must inspect it (a stale id silently doing nothing is exactly
   /// the bug class the generation tags exist to surface).
-  [[nodiscard]] bool cancel(EventId id);
+  SON_HOT [[nodiscard]] bool cancel(EventId id);
 
   [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
 
   /// Time of the earliest pending event. Precondition: !empty().
-  [[nodiscard]] TimePoint next_time() const;
+  SON_HOT [[nodiscard]] TimePoint next_time() const;
 
   /// Removes and returns the earliest pending event's callback and time.
   /// Precondition: !empty().
@@ -52,7 +53,7 @@ class EventQueue {
     TimePoint time;
     Callback cb;
   };
-  Fired pop();
+  SON_HOT Fired pop();
 
   /// Drops all pending events (their ids all become stale).
   void clear();

@@ -1,0 +1,26 @@
+// SON_HOT: the zero-allocation hot-path annotation.
+//
+// Marking a function SON_HOT asserts a contract, not a hint: at steady state
+// the function must not reach an allocating construct (new-expression,
+// make_shared/make_unique, std::to_string, amortized container growth) on
+// ANY call path. The contract is enforced twice:
+//
+//   * statically  — tools/son_analyze walks the call graph from every
+//     SON_HOT function and reports reachable allocation sites
+//     (rule `hot-path-alloc`); reserve-backed growth and cold diagnostic
+//     branches are suppressed inline with a written justification;
+//   * dynamically — sim::alloc_probe counts real allocations across a
+//     warmed-up window in the tier-1 tests.
+//
+// The macro also carries [[gnu::hot]] so the optimizer groups the annotated
+// bodies, but the annotation's primary consumer is the analyzer: it scans
+// for the literal token SON_HOT in the declaration or definition head.
+// Annotate the declaration (header) when the definition is out of line;
+// annotating both is harmless.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define SON_HOT [[gnu::hot]]
+#else
+#define SON_HOT
+#endif

@@ -1,0 +1,52 @@
+// Generation guard for fire-and-forget timers.
+//
+// The safe patterns for a this-capturing scheduled callback are (a) store
+// the EventId and cancel it in the destructor, or (b) make the callback
+// inert once the owner dies. TimerGuard implements (b) for callbacks whose
+// ids are deliberately discarded — delayed forwards, processing-delay hops —
+// where tracking every in-flight id would cost a container per object:
+//
+//   class Node {
+//     sim::TimerGuard guard_;
+//     void hop() {
+//       sim_.schedule(delay, guard_.wrap([this] { deliver(); }));
+//     }
+//   };
+//
+// wrap() captures a weak reference to the guard's liveness token; when the
+// owning object (and thus the guard) is destroyed, every wrapped callback
+// still sitting in the event queue silently no-ops instead of touching a
+// dead `this`. tools/son_analyze's `timer-lifecycle` rule recognizes
+// `member.wrap(` on a TimerGuard member as proof of generation-guarding.
+//
+// Cost: one shared_ptr control block per guard (not per timer) and one
+// weak_ptr::lock per fire. The weak_ptr enlarges the closure by 16 bytes,
+// well inside sim::Callback's small-buffer size. Not a cancellation
+// mechanism: the event still occupies its queue slot until it pops.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+namespace son::sim {
+
+class TimerGuard {
+ public:
+  TimerGuard() : alive_(std::make_shared<const bool>(true)) {}
+  TimerGuard(const TimerGuard&) = delete;
+  TimerGuard& operator=(const TimerGuard&) = delete;
+
+  /// Wraps `fn` so it no-ops once this guard is destroyed.
+  template <typename Fn>
+  auto wrap(Fn&& fn) const {
+    return [token = std::weak_ptr<const bool>(alive_),
+            f = std::forward<Fn>(fn)]() mutable {
+      if (token.lock()) f();
+    };
+  }
+
+ private:
+  std::shared_ptr<const bool> alive_;
+};
+
+}  // namespace son::sim

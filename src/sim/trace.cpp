@@ -20,6 +20,7 @@ Tracer::Sink Tracer::stderr_sink() {
   // One process-wide lock: replications may trace concurrently from the
   // experiment runner's worker threads, and a record must not interleave
   // with another thread's record mid-line.
+  // son-analyze: allow(mutable-static) "serializes stderr sink output across worker threads; guards no simulation state"
   static std::mutex mu;
   return [](const Record& r) {
     const std::scoped_lock lock{mu};

@@ -10,6 +10,8 @@
 #include <optional>
 #include <vector>
 
+#include "sim/hot.hpp"
+
 namespace son::topo {
 
 using NodeIndex = std::uint32_t;
@@ -92,7 +94,7 @@ class SptEngine {
   /// Repairs the tree after the weights of `changed` (deduplicated) were
   /// already updated in `g`. Requires a prior full_compute() against a
   /// graph with the same structure and source.
-  void update(const Graph& g, const EdgeSet& changed);
+  SON_HOT void update(const Graph& g, const EdgeSet& changed);
 
   [[nodiscard]] bool built() const { return src_ != kNoNode; }
   [[nodiscard]] NodeIndex source() const { return src_; }

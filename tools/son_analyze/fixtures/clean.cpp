@@ -1,0 +1,23 @@
+// son-analyze fixture: fully clean translation unit — no rule may fire.
+#include <vector>
+
+#include "include_helper.hpp"
+
+namespace fix {
+
+struct Accumulator {
+  std::vector<int> values_;
+  long total_ = 0;
+
+  void add(int v) {
+    values_.push_back(v);
+    total_ += v;
+  }
+  [[nodiscard]] long total() const { return total_; }
+};
+
+constexpr int kWindow = 16;
+
+long windowed_sum(const Accumulator& acc) { return acc.total() / kWindow; }
+
+}  // namespace fix

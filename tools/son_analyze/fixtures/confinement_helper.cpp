@@ -1,0 +1,14 @@
+// son-analyze fixture: helper translation unit for the cross-file transitive
+// shard-confinement case. This file is NOT matched by the partition glob, so
+// none of its functions are entry points — `helper_touches_control` may only
+// be flagged because a partition root (handler_via_helper in
+// confinement_bad.cpp) reaches it through the call graph.
+
+namespace sim {
+struct Simulator;
+struct ShardedKernel {
+  Simulator& control_sim();
+};
+}  // namespace sim
+
+void helper_touches_control(sim::ShardedKernel& k) { (void)k.control_sim(); }

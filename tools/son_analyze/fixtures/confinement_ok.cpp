@@ -1,0 +1,28 @@
+// son-analyze fixture: NEGATIVE cases for shard-confinement — partition code
+// using only sanctioned mechanisms. Run with --partition-glob
+// "*confinement_ok.cpp"; nothing here may fire.
+
+namespace sim {
+using TimePoint = long;
+struct Callback {};
+struct Simulator {
+  unsigned long long schedule(long delay, Callback cb);
+};
+struct ShardChannel {
+  void push(TimePoint when, Callback cb);
+};
+}  // namespace sim
+
+// Scheduling onto the partition's OWN simulator is the normal case.
+void handler_local_timer(sim::Simulator& own) { own.schedule(5, sim::Callback{}); }
+
+// Cross-partition effects ride the ShardChannel — the sanctioned carrier.
+void handler_cross_partition(sim::ShardChannel& out, sim::TimePoint when) {
+  out.push(when, sim::Callback{});
+}
+
+// Immutable file-scope data is not a confinement hazard.
+constexpr int kFanout = 4;
+const long kQuietPeriod = 250;
+
+int handler_reads_constants() { return kFanout + static_cast<int>(kQuietPeriod); }

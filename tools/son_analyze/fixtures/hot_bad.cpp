@@ -1,0 +1,30 @@
+// son-analyze fixture: POSITIVE cases for hot-path-alloc — a SON_HOT root
+// reaching allocation through a call chain, plus direct sinks.
+#include <string>
+#include <vector>
+
+#define SON_HOT
+
+namespace fix {
+
+int* deep_allocates() { return new int(42); }
+
+int* middle() { return deep_allocates(); }
+
+struct HotTicker {
+  std::vector<int> buf_;
+  SON_HOT void tick();
+  SON_HOT void label(int v);
+  SON_HOT void grow(int v);
+};
+
+// Transitive new-expression: tick -> middle -> deep_allocates.
+void HotTicker::tick() { delete middle(); }
+
+// Direct allocating call.
+void HotTicker::label(int v) { std::string s = std::to_string(v); (void)s; }
+
+// Container growth on the hot path.
+void HotTicker::grow(int v) { buf_.push_back(v); }
+
+}  // namespace fix

@@ -1,0 +1,45 @@
+// son-analyze fixture: NEGATIVE cases for hot-path-alloc — allocation-free
+// hot code, placement new, cold allocating code, and a justified suppression.
+#include <vector>
+
+#define SON_HOT
+
+namespace fix {
+
+struct Slot {
+  int value;
+};
+
+struct HotPool {
+  std::vector<Slot> slots_;
+  unsigned head_ = 0;
+  SON_HOT int pop();
+  SON_HOT void reuse(Slot* where);
+  SON_HOT void bounded_push(int v);
+  void cold_setup();
+};
+
+// Pure index arithmetic: nothing to flag.
+int HotPool::pop() {
+  const unsigned i = head_;
+  head_ = (head_ + 1) % 8u;
+  return slots_[i].value;
+}
+
+// Placement new re-initializes storage in place; it does not allocate.
+void HotPool::reuse(Slot* where) { ::new (where) Slot{0}; }
+
+// Growth into pre-reserved capacity, suppressed with a justification.
+void HotPool::bounded_push(int v) {
+  // son-analyze: allow(hot-path-alloc) "capacity reserved in cold_setup; never exceeded by construction"
+  slots_.push_back(Slot{v});
+}
+
+// Allocates freely — but it is not SON_HOT and nothing hot calls it.
+void HotPool::cold_setup() {
+  slots_.reserve(64);
+  int* scratch = new int[16];
+  delete[] scratch;
+}
+
+}  // namespace fix

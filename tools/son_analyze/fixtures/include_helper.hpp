@@ -1,0 +1,6 @@
+// son-analyze fixture header: pulled in via the compile_commands.json header
+// closure test. Contains one mutable static so the test can verify that
+// headers reached only through #include "..." are analyzed.
+#pragma once
+
+inline int g_header_static = 0;

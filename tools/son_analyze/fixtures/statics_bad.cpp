@@ -1,0 +1,17 @@
+// son-analyze fixture: POSITIVE cases for mutable-static — one per kind.
+
+// Plain mutable global.
+int g_counter = 0;
+
+// thread_local is still shared across trial replications on the same thread.
+thread_local int g_per_thread_scratch = 0;
+
+// Pointer-to-const is a MUTABLE pointer: top-level constness is what counts.
+const char* g_label = "initial";
+
+// Function-local static.
+int cached_value() {
+  static int cache = -1;
+  if (cache < 0) cache = 42;
+  return cache;
+}

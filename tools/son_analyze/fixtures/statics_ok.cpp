@@ -1,0 +1,18 @@
+// son-analyze fixture: NEGATIVE cases for mutable-static — immutable data
+// and a justified suppression. Nothing here may produce a finding.
+
+// Immutable: constexpr / top-level const.
+constexpr int kMaxNodes = 1024;
+const double kAlpha = 0.125;
+const char* const kName = "son";  // const pointer to const: fully immutable
+
+// Function-local constants are fine too.
+long scaled(long x) {
+  static constexpr long kScale = 1000;
+  static const long kBias = 7;
+  return x * kScale + kBias;
+}
+
+// A mutable static with a written justification is accepted.
+// son-analyze: allow(mutable-static) "single-writer: set once in main before any worker starts"
+int g_configured_level = 0;

@@ -1,0 +1,15 @@
+// son-analyze fixture: suppression-grammar failures. Each bad suppression is
+// itself a finding (rule bad-suppression), so this file must exit 1 even
+// though the suppressed sites would otherwise be legitimate.
+
+// Missing justification string entirely.
+// son-analyze: allow(mutable-static)
+int g_unjustified = 0;
+
+// Empty justification.
+// son-analyze: allow(mutable-static) ""
+int g_empty_reason = 0;
+
+// Unknown rule name.
+// son-analyze: allow(definitely-not-a-rule) "this rule does not exist"
+int g_unknown_rule = 0;

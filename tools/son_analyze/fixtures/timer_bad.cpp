@@ -1,0 +1,40 @@
+// son-analyze fixture: POSITIVE cases for timer-lifecycle.
+// Parsed structurally, never compiled.
+#include <vector>
+
+namespace sim {
+using EventId = unsigned long long;
+struct Simulator {
+  EventId schedule(long delay, void* cb);
+  EventId schedule_at(long when, void* cb);
+  bool cancel(EventId id);
+};
+}  // namespace sim
+
+// Case 1: member EventId scheduled, class has no destructor at all.
+struct LeakyTimer {
+  sim::Simulator& sim_;
+  sim::EventId tick_ = 0;
+  void arm() { tick_ = sim_.schedule(5, nullptr); }
+};
+
+// Case 2: destructor exists but cancels only one of two scheduled members.
+struct HalfCancelled {
+  sim::Simulator& sim_;
+  sim::EventId a_ = 0;
+  sim::EventId b_ = 0;
+  void arm() {
+    a_ = sim_.schedule(1, nullptr);
+    b_ = sim_.schedule(2, nullptr);
+  }
+  ~HalfCancelled() { (void)sim_.cancel(a_); }
+};
+
+// Case 3: this-capturing callback with the EventId discarded outright.
+struct FireAndForget {
+  sim::Simulator& sim_;
+  int hits_ = 0;
+  void go() {
+    sim_.schedule(1, [this]() { ++hits_; });
+  }
+};

@@ -1,0 +1,62 @@
+// son-analyze fixture: NEGATIVE cases for timer-lifecycle — every pattern
+// here is a sanctioned way to own a timer, so the rule must stay silent.
+#include <vector>
+
+namespace sim {
+using EventId = unsigned long long;
+struct Simulator {
+  EventId schedule(long delay, void* cb);
+  bool cancel(EventId id);
+};
+struct TimerGuard {
+  template <typename Fn>
+  Fn wrap(Fn fn) const;
+};
+}  // namespace sim
+
+// Stored member EventId, cancelled directly in the destructor.
+struct Cancelled {
+  sim::Simulator& sim_;
+  sim::EventId tick_ = 0;
+  void arm() { tick_ = sim_.schedule(5, nullptr); }
+  ~Cancelled() { (void)sim_.cancel(tick_); }
+};
+
+// Cancelled via a helper method the destructor calls.
+struct CancelledViaHelper {
+  sim::Simulator& sim_;
+  sim::EventId tick_ = 0;
+  void arm() { tick_ = sim_.schedule(5, nullptr); }
+  void stop() { (void)sim_.cancel(tick_); }
+  ~CancelledViaHelper() { stop(); }
+};
+
+// Container of EventIds, drained in the destructor.
+struct StoredInContainer {
+  sim::Simulator& sim_;
+  std::vector<sim::EventId> timers_;
+  void arm() {
+    timers_.push_back(sim_.schedule(1, [this]() { arm(); }));
+  }
+  ~StoredInContainer() {
+    for (sim::EventId t : timers_) (void)sim_.cancel(t);
+  }
+};
+
+// Generation-guarded fire-and-forget: inert once the guard dies.
+struct Guarded {
+  sim::Simulator& sim_;
+  sim::TimerGuard guard_;
+  int hits_ = 0;
+  void go() {
+    sim_.schedule(1, guard_.wrap([this]() { ++hits_; }));
+  }
+};
+
+// Callback that does not capture `this` owes nothing to the owner.
+struct NoCapture {
+  sim::Simulator& sim_;
+  void go(int* counter) {
+    sim_.schedule(1, [counter]() { ++*counter; });
+  }
+};

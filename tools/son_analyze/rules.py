@@ -1,0 +1,453 @@
+"""son-analyze rules: whole-program analyses over the cpp_model.Model.
+
+Four rules, each the static complement of a runtime contract:
+
+  shard-confinement   code reachable from partition entry points must not
+                      schedule onto the control plane (schedule_global /
+                      control_sim), schedule directly onto another shard's
+                      simulator (generalizing son-lint rule 9 from the inline
+                      pattern to full call-graph reachability), or touch
+                      mutable namespace-scope state. ShardChannel::push is
+                      the only legal cross-partition carrier. Complements the
+                      SON_DCHECKs in ShardedKernel / Internet::enable_sharding.
+                      (Per-object cross-partition writes stay runtime-checked:
+                      name-based analysis cannot see object ownership.)
+
+  timer-lifecycle     every member sim::EventId (or container of them) that is
+                      ever assigned from schedule()/schedule_at() must be
+                      cancelled in the owning class's destructor (directly or
+                      via a same-class method the destructor calls), and every
+                      schedule() whose callback captures `this` must either
+                      store the EventId, route through sim::TimerGuard::wrap
+                      (generation-guarded), or carry a justification. Catches
+                      statically the dangling-timer use-after-free class that
+                      PR 5 fixed dynamically.
+
+  hot-path-alloc      functions annotated SON_HOT must not reach a known
+                      allocating construct (new-expressions, make_shared/
+                      make_unique/to_string/malloc, or amortized container
+                      growth like push_back/resize) on any call path. The
+                      static complement of the runtime alloc_probe: the probe
+                      proves a measured window allocation-free, this proves
+                      the property over every path the call graph admits.
+                      Reserve-backed growth is sound — suppress with the
+                      justification saying why the capacity is pre-reserved.
+
+  mutable-static      census of mutable namespace-scope / thread_local /
+                      function-local-static state, enforced against justified
+                      suppressions. Mutable statics are shared across shard
+                      workers and across trial replications: each one is a
+                      determinism hazard unless single-writer or inert.
+
+Plus `bad-suppression` (a suppression without a justification), shared with
+son-lint's grammar.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from cpp_model import Fact, FunctionDef, Model, _ALLOC_CALLS, _GROWTH_METHODS
+
+RULES = {
+    "shard-confinement": "partition-reachable code schedules onto the control plane, another "
+    "shard's simulator, or touches mutable global state; cross-partition effects must ride a "
+    "ShardChannel so the conservative lookahead bound holds",
+    "timer-lifecycle": "a scheduled timer can outlive its owner: member EventIds must be "
+    "cancelled in the destructor, and this-capturing callbacks must store their EventId or be "
+    "generation-guarded (sim::TimerGuard::wrap) — a fire after destruction is a use-after-free",
+    "hot-path-alloc": "a SON_HOT function reaches an allocating construct; hot paths promise "
+    "zero steady-state heap allocation (runtime-pinned by alloc_probe, statically by this rule)",
+    "mutable-static": "mutable namespace-scope/static state; shared across shard workers and "
+    "trial replications, so every instance needs a written single-writer/inertness argument",
+    "bad-suppression": "son-analyze suppression without a justification string",
+}
+
+
+@dataclass
+class Finding:
+    file: str
+    line: int
+    rule: str
+    message: str
+    snippet: str = ""
+    path: list[str] = field(default_factory=list)  # call chain, for reach rules
+
+    def sort_key(self):
+        return (self.file, self.line, self.rule, self.message)
+
+    def to_json(self):
+        d = {"file": self.file, "line": self.line, "rule": self.rule,
+             "message": self.message, "snippet": self.snippet}
+        if self.path:
+            d["path"] = self.path
+        return d
+
+    def __str__(self):
+        s = f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+        if self.path:
+            s += f"\n    path: {' -> '.join(self.path)}"
+        return s
+
+
+# ---------------------------------------------------------------------------
+# Call graph
+# ---------------------------------------------------------------------------
+
+
+class CallGraph:
+    """Name-resolved call graph over every FunctionDef with a body.
+
+    Resolution is deliberately over-approximate (see cpp_model docstring):
+      obj.m(...) / p->m(...)   -> every class method named m
+      Cls::m(...) / ns::f(...) -> functions named m whose class/qname matches
+      f(...)                   -> free functions named f, plus methods named f
+                                  of the *caller's own* class (implicit this->)
+    """
+
+    def __init__(self, model: Model):
+        self.defs: list[FunctionDef] = [f for f in model.functions() if not f.is_decl]
+        self.by_name: dict[str, list[FunctionDef]] = {}
+        self.methods_by_name: dict[str, list[FunctionDef]] = {}
+        self.free_by_name: dict[str, list[FunctionDef]] = {}
+        for f in self.defs:
+            self.by_name.setdefault(f.name, []).append(f)
+            (self.methods_by_name if f.cls else self.free_by_name).setdefault(
+                f.name, []).append(f)
+        # SON_HOT can live on the declaration (header) or the definition:
+        # merge by (cls, name).
+        hot_keys = {(f.cls, f.name) for f in model.functions() if f.hot}
+        for f in self.defs:
+            if (f.cls, f.name) in hot_keys:
+                f.hot = True
+        self._succ: dict[int, list[FunctionDef]] = {}
+
+    def successors(self, fn: FunctionDef) -> list[FunctionDef]:
+        cached = self._succ.get(id(fn))
+        if cached is not None:
+            return cached
+        out: list[FunctionDef] = []
+        seen: set[int] = set()
+        for call in fn.calls:
+            if call.is_method and call.name in _GROWTH_METHODS:
+                # Growth-named method calls (push_back, insert, ...) are
+                # overwhelmingly std-container calls; resolving them to
+                # same-named project methods cascades false paths. They are
+                # terminal sinks for hot-path-alloc instead of edges.
+                continue
+            if call.qualifier:
+                qlast = call.qualifier.split("::")[-1]
+                cands = [g for g in self.by_name.get(call.name, ())
+                         if g.cls == qlast or qlast in g.qname.split("::")]
+            elif call.is_method:
+                cands = self.methods_by_name.get(call.name, ())
+            else:
+                cands = list(self.free_by_name.get(call.name, ()))
+                if fn.cls:
+                    cands += [g for g in self.methods_by_name.get(call.name, ())
+                              if g.cls == fn.cls]
+            for g in cands:
+                if id(g) not in seen:
+                    seen.add(id(g))
+                    out.append(g)
+        self._succ[id(fn)] = out
+        return out
+
+    def reach(self, roots: list[FunctionDef]):
+        """BFS yielding (fn, path_of_qnames) in deterministic order."""
+        seen: set[int] = set()
+        q: deque[tuple[FunctionDef, tuple[str, ...]]] = deque()
+        for r in sorted(roots, key=lambda f: (f.file, f.line)):
+            if id(r) not in seen:
+                seen.add(id(r))
+                q.append((r, (r.qname,)))
+        while q:
+            fn, path = q.popleft()
+            yield fn, path
+            if len(path) >= 24:  # depth bound; over-approx graphs can cycle wide
+                continue
+            for g in self.successors(fn):
+                if id(g) not in seen:
+                    seen.add(id(g))
+                    q.append((g, path + (g.qname,)))
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+class Emitter:
+    def __init__(self, model: Model, baseline):
+        self.model = model
+        self.baseline = baseline
+        self.findings: list[Finding] = []
+        self.suppressed_count = 0
+
+    def snippet(self, file: str, line: int) -> str:
+        fm = self.model.files.get(file)
+        if fm and 0 < line <= len(fm.raw_lines):
+            return fm.raw_lines[line - 1].strip()[:160]
+        return ""
+
+    def emit(self, file: str, line: int, rule: str, message: str,
+             path: list[str] | None = None, symbol: str = ""):
+        fm = self.model.files.get(file)
+        if fm and rule in fm.suppressions.get(line, ()):
+            self.suppressed_count += 1
+            return False
+        if self.baseline is not None and self.baseline.allows(rule, file, symbol):
+            self.suppressed_count += 1
+            return False
+        self.findings.append(Finding(file, line, rule, message,
+                                     self.snippet(file, line), path or []))
+        return True
+
+    def is_suppressed_at(self, file: str, line: int, rule: str) -> bool:
+        fm = self.model.files.get(file)
+        if fm and rule in fm.suppressions.get(line, ()):
+            return True
+        return self.baseline is not None and self.baseline.allows(rule, file, "")
+
+
+# ---------------------------------------------------------------------------
+# Rule: mutable-static (census first: confinement consumes the survivors)
+# ---------------------------------------------------------------------------
+
+
+def check_mutable_statics(model: Model, em: Emitter) -> list:
+    """Emits findings; returns the unsuppressed file-local referenceable
+    statics (globals / thread-locals) for the confinement rule's sink set."""
+    live = []
+    for fm in model.files.values():
+        for sv in fm.statics:
+            kept = em.emit(
+                sv.file, sv.line, "mutable-static",
+                f"mutable {sv.kind} `{sv.decl}` — "
+                + RULES["mutable-static"].split("; ", 1)[1],
+                symbol=sv.name)
+            if sv.kind != "static-local":
+                if kept or not em.is_suppressed_at(sv.file, sv.line, "shard-confinement"):
+                    # A static whose definition carries a shard-confinement
+                    # suppression is also dropped from the confinement sink
+                    # set: one justification covers both views of the hazard.
+                    if not em.is_suppressed_at(sv.file, sv.line, "shard-confinement"):
+                        live.append(sv)
+    return live
+
+
+# ---------------------------------------------------------------------------
+# Rule: shard-confinement
+# ---------------------------------------------------------------------------
+
+_CONTROL_CALLS = {"schedule_global", "control_sim"}
+
+
+def check_shard_confinement(model: Model, graph: CallGraph, em: Emitter,
+                            partition_globs: list[str], live_statics: list,
+                            roots_filter=None):
+    import fnmatch
+
+    import re as _re
+
+    roots = [f for f in graph.defs
+             if any(fnmatch.fnmatch(f.file, g) for g in partition_globs)
+             and (roots_filter is None or roots_filter(f))]
+    # Pre-index static references per function (file-local identifier match:
+    # the census statics in this tree live in anonymous namespaces).
+    statics_by_file: dict[str, list] = {}
+    for sv in live_statics:
+        statics_by_file.setdefault(sv.file, []).append(sv)
+
+    reported: set[tuple] = set()
+
+    def report(file, line, key, msg, path, symbol):
+        if key in reported:
+            return
+        em.emit(file, line, "shard-confinement", msg, list(path), symbol=symbol)
+        reported.add(key)  # even if suppressed: don't re-litigate via other paths
+
+    for fn, path in graph.reach(roots):
+        for call in fn.calls:
+            if call.name in _CONTROL_CALLS:
+                report(fn.file, call.line, ("ctl", fn.qname, call.name),
+                       f"`{fn.qname}` (partition-reachable) calls `{call.name}` — "
+                       "control-plane scheduling from partition context breaks the "
+                       "lookahead contract (runtime: SON_DCHECK in ShardedKernel)",
+                       path, fn.qname)
+        for fact in fn.facts:
+            if fact.kind == "shard-sched":
+                report(fn.file, fact.line, ("ss", fn.file, fact.line),
+                       f"`{fn.qname}` (partition-reachable) schedules directly onto a "
+                       "shard simulator; cross-partition events must ride a "
+                       "ShardChannel (son-lint rule 9, here transitively enforced)",
+                       path, fn.qname)
+        for sv in statics_by_file.get(fn.file, ()):
+            if fn.body and _re.search(r"\b" + _re.escape(sv.name) + r"\b", fn.body):
+                report(fn.file, sv.line, ("st", fn.qname, sv.name),
+                       f"`{fn.qname}` (partition-reachable) touches mutable "
+                       f"{sv.kind} `{sv.name}` — shared across shard workers",
+                       path, fn.qname)
+
+
+# ---------------------------------------------------------------------------
+# Rule: timer-lifecycle
+# ---------------------------------------------------------------------------
+
+import re as _re2
+
+_EVENTID_TYPE_RE = _re2.compile(r"(?:^|[^\w])(?:sim\s*::\s*)?EventId\s*$")
+_EVENTID_CONTAINER_RE = _re2.compile(
+    r"(?:vector|array|deque)\s*<\s*(?:sim\s*::\s*)?EventId\s*(?:,[^>]*)?>")
+_GUARD_TYPE_RE = _re2.compile(r"(?:sim\s*::\s*)?TimerGuard\b")
+_SCHED_CALL_RE = _re2.compile(r"\bschedule(?:_at)?\s*\(")
+
+
+def _statement_around(body: str, idx: int) -> tuple[str, int]:
+    start = max(body.rfind(";", 0, idx), body.rfind("{", 0, idx), body.rfind("}", 0, idx))
+    start = start + 1 if start >= 0 else 0
+    return body[start:idx], start
+
+
+def check_timer_lifecycle(model: Model, graph: CallGraph, em: Emitter):
+    methods_by_class: dict[str, list[FunctionDef]] = {}
+    for f in graph.defs:
+        if f.cls:
+            methods_by_class.setdefault(f.cls, []).append(f)
+
+    for ci in model.classes():
+        methods = methods_by_class.get(ci.name, [])
+        if not methods:
+            continue
+        event_members = []
+        guard_names = []
+        for mv in ci.members:
+            if _GUARD_TYPE_RE.search(mv.type_text):
+                guard_names.append(mv.name)
+            elif _EVENTID_TYPE_RE.search(mv.type_text) or \
+                    _EVENTID_CONTAINER_RE.search(mv.type_text):
+                event_members.append(mv)
+
+        # (a) member EventIds: scheduled somewhere => cancelled in the dtor
+        # (directly, or in a same-class method the destructor calls).
+        dtors = [m for m in methods if m.is_dtor]
+        dtor_reachable: list[FunctionDef] = []
+        seen = set()
+        work = list(dtors)
+        while work:
+            m = work.pop()
+            if id(m) in seen:
+                continue
+            seen.add(id(m))
+            dtor_reachable.append(m)
+            for call in m.calls:
+                for g in methods:
+                    if g.name == call.name and id(g) not in seen:
+                        work.append(g)
+        for mv in event_members:
+            sched_re = _re2.compile(
+                r"\b" + _re2.escape(mv.name) +
+                r"\b\s*(?:=\s*[^;]*\bschedule|\.\s*(?:push_back|emplace_back)\s*\([^;]*\bschedule)")
+            scheduled = any(m.body and sched_re.search(m.body) for m in methods)
+            if not scheduled:
+                continue
+            cancelled = any(
+                m.body and _re2.search(r"\b" + _re2.escape(mv.name) + r"\b", m.body)
+                and "cancel" in m.body for m in dtor_reachable)
+            if not cancelled:
+                where = "no destructor is defined" if not dtors else \
+                    f"`~{ci.name}` never cancels it"
+                em.emit(mv.file, mv.line, "timer-lifecycle",
+                        f"member EventId `{ci.name}::{mv.name}` is scheduled but {where}; "
+                        "a fire after destruction is a use-after-free",
+                        symbol=f"{ci.name}::{mv.name}")
+
+        # (b) this-capturing schedule whose EventId is discarded and whose
+        # callback is not routed through a TimerGuard.
+        guard_wrap_re = None
+        if guard_names:
+            guard_wrap_re = _re2.compile(
+                r"\b(?:" + "|".join(map(_re2.escape, guard_names)) + r")\s*\.\s*wrap\s*\(")
+        for m in methods:
+            if not m.body:
+                continue
+            for sm in _SCHED_CALL_RE.finditer(m.body):
+                open_paren = m.body.index("(", sm.start())
+                from cpp_model import match_paren
+                close = match_paren(m.body, open_paren)
+                args = m.body[open_paren:close + 1]
+                if not _re2.search(r"\[\s*(?:this\b|=|&[\s,\]])", args):
+                    continue  # callback does not capture this
+                stmt, _ = _statement_around(m.body, sm.start())
+                if _re2.search(r"=|\breturn\b|\b(?:push_back|emplace_back|"
+                               r"insert|emplace)\s*\(", stmt):
+                    continue  # EventId stored / returned
+                if guard_wrap_re and guard_wrap_re.search(args):
+                    continue  # generation-guarded: inert after guard destruction
+                line = m.body_line + m.body.count("\n", 0, sm.start())
+                em.emit(m.file, line, "timer-lifecycle",
+                        f"`{m.qname}` schedules a this-capturing callback and discards "
+                        "the EventId; store it and cancel in the destructor, or wrap "
+                        "with sim::TimerGuard so destruction makes it inert",
+                        symbol=m.qname)
+
+
+# ---------------------------------------------------------------------------
+# Rule: hot-path-alloc
+# ---------------------------------------------------------------------------
+
+
+def check_hot_path_alloc(model: Model, graph: CallGraph, em: Emitter):
+    roots = [f for f in graph.defs if f.hot]
+    reported: set[tuple] = set()
+
+    def report(file, line, key, msg, path, symbol):
+        if key in reported:
+            return
+        em.emit(file, line, "hot-path-alloc", msg, list(path), symbol=symbol)
+        reported.add(key)
+
+    for fn, path in graph.reach(roots):
+        root = path[0]
+        for fact in fn.facts:
+            if fact.kind == "new-expr":
+                report(fn.file, fact.line, (fn.file, fact.line),
+                       f"new-expression reachable from SON_HOT `{root}` "
+                       f"(in `{fn.qname}`)", path, fn.qname)
+        for call in fn.calls:
+            if call.name in _ALLOC_CALLS:
+                report(fn.file, call.line, (fn.file, call.line),
+                       f"allocating call `{call.name}` reachable from SON_HOT "
+                       f"`{root}` (in `{fn.qname}`)", path, fn.qname)
+            elif call.is_method and call.name in _GROWTH_METHODS:
+                report(fn.file, call.line, (fn.file, call.line),
+                       f"container growth `{call.name}` reachable from SON_HOT "
+                       f"`{root}` (in `{fn.qname}`); sound only if capacity is "
+                       "pre-reserved — suppress with the reservation argument",
+                       path, fn.qname)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run_all(model: Model, baseline, partition_globs: list[str],
+            roots_filter=None) -> tuple[list[Finding], int]:
+    """roots_filter(fn) -> bool narrows the shard-confinement entry set
+    (the baseline's control_plane section routes through it)."""
+    em = Emitter(model, baseline)
+    for fm in model.files.values():
+        for ln in fm.bad_suppression_lines:
+            em.findings.append(Finding(fm.rel, ln, "bad-suppression",
+                                       RULES["bad-suppression"],
+                                       em.snippet(fm.rel, ln)))
+    graph = CallGraph(model)
+    live_statics = check_mutable_statics(model, em)
+    check_shard_confinement(model, graph, em, partition_globs, live_statics,
+                            roots_filter)
+    check_timer_lifecycle(model, graph, em)
+    check_hot_path_alloc(model, graph, em)
+    em.findings.sort(key=Finding.sort_key)
+    return em.findings, em.suppressed_count

@@ -1,0 +1,258 @@
+#!/usr/bin/env python3
+"""Self-test for son-analyze: every rule fires on its positive fixture and
+stays silent on its negative twin, the suppression grammar rejects bare
+suppressions, the baseline loader rejects entries without justifications,
+and the JSON/SARIF reports round-trip. Run directly or via ctest
+(registered as `son_analyze_selftest`).
+
+Runs with --engine tokens so the result is identical on machines with and
+without libclang; CI runs an additional advisory clang-engine pass.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+TOOL = HERE / "son_analyze.py"
+FIX = HERE / "fixtures"
+
+
+def run(*args: str):
+    return subprocess.run(
+        [sys.executable, str(TOOL), "--engine", "tokens", "--root", str(HERE), *args],
+        capture_output=True, text=True, check=False)
+
+
+def fail(msg: str):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def findings_of(report: Path) -> list[dict]:
+    return json.loads(report.read_text())["findings"]
+
+
+def expect_rule(name: str, extra: list[str], rule: str, min_count: int,
+                forbid_other_rules: bool = False):
+    with tempfile.TemporaryDirectory() as td:
+        report = Path(td) / "report.json"
+        r = run("--baseline", "none", "--json", str(report),
+                *extra, str(FIX / name))
+        if r.returncode != 1:
+            fail(f"{name}: expected exit 1, got {r.returncode}\n{r.stdout}{r.stderr}")
+        fs = findings_of(report)
+        hits = [f for f in fs if f["rule"] == rule]
+        if len(hits) < min_count:
+            fail(f"{name}: expected >= {min_count} {rule} findings, got "
+                 f"{len(hits)}\n{r.stdout}")
+        if forbid_other_rules and len(hits) != len(fs):
+            others = sorted({f['rule'] for f in fs} - {rule})
+            fail(f"{name}: unexpected extra rules fired: {others}\n{r.stdout}")
+        for f in fs:
+            if f["line"] <= 0 or not f["file"].endswith(".cpp"):
+                fail(f"{name}: finding with bad location: {f}")
+        return fs
+
+
+def expect_clean(name: str, extra: list[str]):
+    r = run("--baseline", "none", *extra, str(FIX / name))
+    if r.returncode != 0:
+        fail(f"{name}: expected exit 0, got {r.returncode}\n{r.stdout}{r.stderr}")
+
+
+def main():
+    # --- per-rule positive/negative pairs ---------------------------------
+    timer = expect_rule("timer_bad.cpp", [], "timer-lifecycle", 3,
+                        forbid_other_rules=True)
+    msgs = " ".join(f["message"] for f in timer)
+    if "LeakyTimer::tick_" not in msgs or "HalfCancelled::b_" not in msgs:
+        fail(f"timer_bad.cpp: expected member findings for LeakyTimer::tick_ "
+             f"and HalfCancelled::b_\n{msgs}")
+    if "HalfCancelled::a_" in msgs:
+        fail("timer_bad.cpp: HalfCancelled::a_ is cancelled and must not fire")
+    expect_clean("timer_ok.cpp", [])
+
+    hot = expect_rule("hot_bad.cpp", [], "hot-path-alloc", 3,
+                      forbid_other_rules=True)
+    kinds = " ".join(f["message"] for f in hot)
+    for needle in ("new-expression", "to_string", "push_back"):
+        if needle not in kinds:
+            fail(f"hot_bad.cpp: no finding mentions {needle}\n{kinds}")
+    transitive = [f for f in hot if len(f.get("path", [])) >= 3]
+    if not transitive:
+        fail("hot_bad.cpp: expected a transitive finding with a call path "
+             "of depth >= 3 (tick -> middle -> deep_allocates)")
+    expect_clean("hot_ok.cpp", [])
+
+    glob_bad = ["--partition-glob", "*confinement_bad.cpp",
+                str(FIX / "confinement_helper.cpp")]
+    conf = expect_rule("confinement_bad.cpp", glob_bad, "shard-confinement", 4)
+    msgs = " ".join(f["message"] for f in conf)
+    for needle in ("schedule_global", "control_sim", "shard simulator",
+                   "g_shared_hits"):
+        if needle not in msgs:
+            fail(f"confinement_bad.cpp: no finding mentions {needle}\n{msgs}")
+    via_helper = [f for f in conf if "handler_via_helper" in " ".join(f.get("path", []))]
+    if not via_helper or not via_helper[0]["file"].endswith("confinement_helper.cpp"):
+        fail("confinement_bad.cpp: cross-file transitive control_sim reach "
+             "(handler_via_helper -> helper_touches_control) not reported "
+             f"in confinement_helper.cpp: {via_helper}")
+    expect_clean("confinement_ok.cpp", ["--partition-glob", "*confinement_ok.cpp"])
+
+    stat = expect_rule("statics_bad.cpp", [], "mutable-static", 4,
+                       forbid_other_rules=True)
+    kinds = {f["message"].split("mutable ")[1].split(" ")[0] for f in stat}
+    if kinds != {"global", "thread-local", "static-local"}:
+        fail(f"statics_bad.cpp: expected all three kinds, got {sorted(kinds)}")
+    expect_clean("statics_ok.cpp", [])
+
+    sup = expect_rule("suppression_bad.cpp", [], "bad-suppression", 3)
+
+    expect_clean("clean.cpp", [])
+
+    # --- baseline contract ------------------------------------------------
+    with tempfile.TemporaryDirectory() as td:
+        bad_bl = Path(td) / "bl.json"
+        bad_bl.write_text(json.dumps({
+            "version": 1,
+            "suppressions": [{"rule": "mutable-static", "path": "*"}],
+        }))
+        r = run("--baseline", str(bad_bl), str(FIX / "statics_bad.cpp"))
+        if r.returncode != 2:
+            fail(f"baseline without justification: expected exit 2, got "
+                 f"{r.returncode}\n{r.stdout}{r.stderr}")
+
+        good_bl = Path(td) / "bl2.json"
+        good_bl.write_text(json.dumps({
+            "version": 1,
+            "suppressions": [{
+                "rule": "mutable-static", "path": "*statics_bad.cpp",
+                "justification": "fixture: accepted for the suppression test",
+            }],
+        }))
+        r = run("--baseline", str(good_bl), str(FIX / "statics_bad.cpp"))
+        if r.returncode != 0:
+            fail(f"justified baseline: expected exit 0, got {r.returncode}\n"
+                 f"{r.stdout}{r.stderr}")
+
+        unknown_rule_bl = Path(td) / "bl3.json"
+        unknown_rule_bl.write_text(json.dumps({
+            "version": 1,
+            "suppressions": [{
+                "rule": "not-a-rule", "path": "*",
+                "justification": "long enough but names an unknown rule",
+            }],
+        }))
+        r = run("--baseline", str(unknown_rule_bl), str(FIX / "clean.cpp"))
+        if r.returncode != 2:
+            fail(f"baseline with unknown rule: expected exit 2, got {r.returncode}")
+
+    # --- control-plane entries narrow the confinement entry set -----------
+    with tempfile.TemporaryDirectory() as td:
+        cp_bl = Path(td) / "bl.json"
+        cp_bl.write_text(json.dumps({
+            "version": 1,
+            "suppressions": [
+                {"rule": "mutable-static", "path": "*confinement_bad.cpp",
+                 "justification": "fixture: static census not under test here"},
+            ],
+            "control_plane": [
+                {"path": "*confinement_bad.cpp", "symbol": "handler_schedules_global",
+                 "justification": "fixture: reclassified as a control-plane root"},
+                {"path": "*confinement_bad.cpp", "symbol": "handler_cross_shard",
+                 "justification": "fixture: reclassified as a control-plane root"},
+                {"path": "*confinement_bad.cpp", "symbol": "handler_touches_static",
+                 "justification": "fixture: reclassified as a control-plane root"},
+            ],
+        }))
+        # With three of the four roots reclassified as control-plane, only
+        # handler_via_helper remains an entry point — so exactly one finding
+        # survives: the helper's control_sim call, reached cross-file.
+        report = Path(td) / "r.json"
+        r = run("--baseline", str(cp_bl), "--json", str(report),
+                "--partition-glob", "*confinement_bad.cpp",
+                str(FIX / "confinement_bad.cpp"),
+                str(FIX / "confinement_helper.cpp"))
+        if r.returncode != 1:
+            fail(f"control-plane narrowing: expected exit 1, got {r.returncode}\n"
+                 f"{r.stdout}{r.stderr}")
+        fs = findings_of(report)
+        if len(fs) != 1 or "helper_touches_control" not in fs[0]["message"] \
+                or fs[0].get("path") != ["handler_via_helper", "helper_touches_control"]:
+            fail(f"control-plane narrowing: expected exactly the helper's "
+                 f"control_sim finding via handler_via_helper, got {fs}")
+
+    # --- compile_commands.json drives the file set (incl. header closure) --
+    with tempfile.TemporaryDirectory() as td:
+        compdb = Path(td) / "compile_commands.json"
+        compdb.write_text(json.dumps([{
+            "directory": str(FIX),
+            "file": str(FIX / "clean.cpp"),
+            "command": "c++ -c clean.cpp",
+        }]))
+        report = Path(td) / "r.json"
+        r = run("--baseline", "none", "--compdb", str(compdb),
+                "--json", str(report))
+        if r.returncode != 1:
+            fail(f"compdb run: expected exit 1 (header static), got "
+                 f"{r.returncode}\n{r.stdout}{r.stderr}")
+        fs = findings_of(report)
+        if not any(f["file"].endswith("include_helper.hpp")
+                   and f["rule"] == "mutable-static" for f in fs):
+            fail(f"compdb run: include_helper.hpp static not found via the "
+                 f"header closure: {fs}")
+
+    # --- SARIF shape -------------------------------------------------------
+    with tempfile.TemporaryDirectory() as td:
+        sarif = Path(td) / "out.sarif"
+        r = run("--baseline", "none", "--sarif", str(sarif),
+                str(FIX / "hot_bad.cpp"))
+        if r.returncode != 1:
+            fail(f"sarif run: expected exit 1, got {r.returncode}")
+        doc = json.loads(sarif.read_text())
+        if doc["version"] != "2.1.0":
+            fail("sarif: wrong version")
+        run0 = doc["runs"][0]
+        rule_ids = {rr["id"] for rr in run0["tool"]["driver"]["rules"]}
+        if "hot-path-alloc" not in rule_ids or len(rule_ids) != 5:
+            fail(f"sarif: rule catalog wrong: {sorted(rule_ids)}")
+        if not run0["results"]:
+            fail("sarif: no results emitted")
+        res = run0["results"][0]
+        for key in ("ruleId", "level", "message", "locations", "partialFingerprints"):
+            if key not in res:
+                fail(f"sarif: result missing {key}")
+        loc = res["locations"][0]["physicalLocation"]
+        if loc["region"]["startLine"] <= 0 or not loc["artifactLocation"]["uri"]:
+            fail(f"sarif: bad physical location: {loc}")
+
+    # --- seeded regression: what the CI gate demonstrates ------------------
+    with tempfile.TemporaryDirectory() as td:
+        seeded = Path(td) / "seeded.cpp"
+        seeded.write_text((FIX / "clean.cpp").read_text()
+                          + "\nint g_seeded_regression = 1;\n")
+        r = run("--baseline", "none", str(seeded))
+        if r.returncode != 1:
+            fail(f"seeded regression: expected exit 1, got {r.returncode}\n"
+                 f"{r.stdout}{r.stderr}")
+        if "g_seeded_regression" not in r.stdout:
+            fail(f"seeded regression: finding does not name the seed\n{r.stdout}")
+
+    # --- misc CLI ----------------------------------------------------------
+    r = run("--list-rules")
+    if r.returncode != 0 or len([ln for ln in r.stdout.splitlines() if ln.strip()]) != 5:
+        fail(f"--list-rules: expected 5 rules, got:\n{r.stdout}")
+    r = run("--baseline", "none", str(FIX / "no_such_file.cpp"))
+    if r.returncode != 2:
+        fail(f"missing input: expected exit 2, got {r.returncode}")
+
+    print("son-analyze self-test: all checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+// son-lint fixture: dedicated rule-9 (cross-shard) coverage. Exercises both
+// receiver spellings, the justified-suppression path, and the
+// suppression-without-justification path. Parsed by the linter, never
+// compiled.
+
+struct Sim {
+  unsigned long long schedule(long delay, void* cb);
+};
+struct Kernel {
+  Sim& shard_sim(unsigned p);
+};
+struct KernelPtr {
+  Sim* shard_sim(unsigned p);
+};
+
+// Reference receiver, `.schedule` spelling: fires.
+void dot_receiver(Kernel& kernel, unsigned other) {
+  kernel.shard_sim(other).schedule(0, nullptr);  // cross-shard
+}
+
+// Pointer receiver, `->schedule` spelling: fires.
+void arrow_receiver(KernelPtr& kernel, unsigned other) {
+  kernel.shard_sim(other)->schedule(0, nullptr);  // cross-shard
+}
+
+// Justified inline suppression: silent.
+void justified_setup(Kernel& kernel, unsigned p) {
+  // son-lint: allow(cross-shard) "deterministic bootstrap: runs before round 0 opens"
+  kernel.shard_sim(p).schedule(0, nullptr);
+}
+
+// Suppression without a reason: does NOT suppress — the site still fires,
+// plus a bad-suppression finding for the comment itself.
+void unjustified_setup(Kernel& kernel, unsigned other) {
+  // son-lint: allow(cross-shard)
+  kernel.shard_sim(other).schedule(0, nullptr);
+}
+
+// Same-partition schedule with no shard_sim() receiver: silent.
+void own_queue(Sim& sim) { sim.schedule(5, nullptr); }

@@ -64,6 +64,29 @@ def main():
         if r.returncode != 0:
             fail(f"clean.cpp: expected exit 0, got {r.returncode}\n{r.stdout}")
 
+        # Dedicated rule-9 (cross-shard) coverage: both receiver spellings
+        # fire, a justified suppression silences its site, and a bare
+        # suppression both fails and leaves its site firing.
+        report9 = Path(td) / "report9.json"
+        r = run_lint("--config", str(empty_conf), "--json", str(report9),
+                     str(HERE / "fixtures" / "cross_shard.cpp"))
+        if r.returncode != 1:
+            fail(f"cross_shard.cpp: expected exit 1, got {r.returncode}\n{r.stdout}{r.stderr}")
+        doc = json.loads(report9.read_text())
+        by_rule: dict[str, list[int]] = {}
+        for f in doc["findings"]:
+            by_rule.setdefault(f["rule"], []).append(f["line"])
+        if set(by_rule) != {"cross-shard", "bad-suppression"}:
+            fail(f"cross_shard.cpp: unexpected rule set {sorted(by_rule)}\n{r.stdout}")
+        text9 = (HERE / "fixtures" / "cross_shard.cpp").read_text().splitlines()
+        fired_fns = {next(ln for ln in range(hit, 0, -1) if "void " in text9[ln - 1])
+                     for hit in by_rule["cross-shard"]}
+        names = {text9[ln - 1].split("void ")[1].split("(")[0] for ln in fired_fns}
+        if names != {"dot_receiver", "arrow_receiver", "unjustified_setup"}:
+            fail(f"cross_shard.cpp: cross-shard fired in wrong functions: {sorted(names)}")
+        if len(by_rule["bad-suppression"]) != 1:
+            fail(f"cross_shard.cpp: expected 1 bad-suppression, got {by_rule}")
+
         # The shipped allowlist must parse, and --list-rules must cover
         # every rule the fixtures exercise.
         r = run_lint("--list-rules")
