@@ -59,7 +59,8 @@ void BM_Forward_LinkState(benchmark::State& state) {
   HotPathFixture f{false};
   std::uint64_t i = 0;
   for (auto _ : state) {
-    f.net->node(4).bench_forward_lookup(f.msg(overlay::RouteScheme::kLinkState, ++i));
+    benchmark::DoNotOptimize(f.net->node(4).bench_forward_lookup(
+        f.msg(overlay::RouteScheme::kLinkState, ++i), overlay::kInvalidLinkBit));
   }
 }
 BENCHMARK(BM_Forward_LinkState);
@@ -68,19 +69,36 @@ void BM_Forward_SourceBased(benchmark::State& state) {
   HotPathFixture f{false};
   std::uint64_t i = 0;
   for (auto _ : state) {
-    f.net->node(4).bench_forward_lookup(f.msg(overlay::RouteScheme::kFlooding, ++i));
+    benchmark::DoNotOptimize(f.net->node(4).bench_forward_lookup(
+        f.msg(overlay::RouteScheme::kFlooding, ++i), overlay::kInvalidLinkBit));
   }
 }
 BENCHMARK(BM_Forward_SourceBased);
 
-void BM_Forward_WithHmacAuth(benchmark::State& state) {
+/// IT-mode per-hop cost: verify the arriving tag (keyed to the ingress
+/// link's peer) + re-sign toward the routed egress peer. The arrival tag is
+/// built once outside the loop, so the loop measures exactly the two HMACs
+/// plus the routing lookup.
+void forward_hmac_loop(benchmark::State& state, overlay::OverlayNode::BenchAuthPath path) {
   HotPathFixture f{true};
-  std::uint64_t i = 0;
+  auto& node = f.net->node(4);
+  const overlay::Message m = f.msg(overlay::RouteScheme::kLinkState, 1);
+  const overlay::LinkBit ingress = node.link_bits().front();
+  const crypto::Tag in_auth = node.bench_make_arrival_tag(m, ingress);
   for (auto _ : state) {
-    f.net->node(4).bench_forward_lookup(f.msg(overlay::RouteScheme::kLinkState, ++i));
+    benchmark::DoNotOptimize(node.bench_forward_lookup(m, ingress, &in_auth, path));
   }
 }
+
+void BM_Forward_WithHmacAuth(benchmark::State& state) {
+  forward_hmac_loop(state, overlay::OverlayNode::BenchAuthPath::kFast);
+}
 BENCHMARK(BM_Forward_WithHmacAuth);
+
+void BM_Forward_WithHmacAuth_SeedPath(benchmark::State& state) {
+  forward_hmac_loop(state, overlay::OverlayNode::BenchAuthPath::kSeed);
+}
+BENCHMARK(BM_Forward_WithHmacAuth_SeedPath);
 
 void BM_Sha256_1200B(benchmark::State& state) {
   std::vector<std::uint8_t> buf(1200, 0xAB);

@@ -21,18 +21,30 @@ Key derive_pair_key(const Key& master, std::uint32_t a, std::uint32_t b) {
 KeyTable::KeyTable(const Key& master, std::uint32_t self, std::uint32_t num_nodes)
     : self_{self} {
   keys_.reserve(num_nodes);
+  macs_.reserve(num_nodes);
   for (std::uint32_t peer = 0; peer < num_nodes; ++peer) {
     keys_.push_back(derive_pair_key(master, self, peer));
+    macs_.emplace_back(std::span<const std::uint8_t>{keys_.back()});
   }
 }
 
 Tag KeyTable::sign(std::uint32_t peer, std::span<const std::uint8_t> message) const {
-  return hmac_tag(std::span<const std::uint8_t>{keys_.at(peer)}, message);
+  return sign(peer, message, {});
 }
 
 bool KeyTable::verify(std::uint32_t peer, std::span<const std::uint8_t> message,
                       const Tag& tag) const {
-  return verify_tag(hmac_tag(std::span<const std::uint8_t>{keys_.at(peer)}, message), tag);
+  return verify(peer, message, {}, tag);
+}
+
+Tag KeyTable::sign(std::uint32_t peer, std::span<const std::uint8_t> head,
+                   std::span<const std::uint8_t> body) const {
+  return context(peer).sign(head, body);
+}
+
+bool KeyTable::verify(std::uint32_t peer, std::span<const std::uint8_t> head,
+                      std::span<const std::uint8_t> body, const Tag& tag) const {
+  return context(peer).verify(head, body, tag);
 }
 
 }  // namespace son::crypto

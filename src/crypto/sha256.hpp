@@ -1,6 +1,15 @@
 // SHA-256 (FIPS 180-4), incremental API. Self-contained so the overlay's
 // intrusion-tolerant protocols carry real, verifiable authentication tags
 // with measurable per-hop cost (bench_overhead) without external deps.
+//
+// The compression function is runtime-dispatched: on x86-64 with the SHA
+// extensions (SHA-NI) a hardware kernel is selected once at process startup
+// (a namespace-scope dynamic initializer, i.e. before main() and before any
+// sharded worker threads exist, so the dispatch itself is race-free); the
+// portable scalar loop remains the fallback and the reference. Both kernels
+// compute the identical FIPS 180-4 function, so digests — and therefore
+// HMAC tags, delivery hashes and golden-run traces — are bit-identical
+// regardless of which kernel runs.
 #pragma once
 
 #include <array>
@@ -10,31 +19,85 @@
 #include <string>
 #include <string_view>
 
+#include "sim/hot.hpp"
+
 namespace son::crypto {
 
 using Digest = std::array<std::uint8_t, 32>;
 
+/// The eight 32-bit working variables of SHA-256 — either the initial vector
+/// or a captured midstate after some whole number of 64-byte blocks.
+using Sha256State = std::array<std::uint32_t, 8>;
+
+/// FIPS 180-4 initial hash value H(0).
+inline constexpr Sha256State kSha256Iv = {0x6a09e667, 0xbb67ae85, 0x3c6ef372,
+                                          0xa54ff53a, 0x510e527f, 0x9b05688c,
+                                          0x1f83d9ab, 0x5be0cd19};
+
+enum class Sha256Kernel : std::uint8_t {
+  kScalar = 0,  // portable reference loop
+  kShaNi = 1,   // x86-64 SHA extensions
+};
+
+/// True when this CPU can run the SHA-NI kernel.
+[[nodiscard]] bool sha256_shani_supported();
+
+/// Kernel new Sha256 instances pick up by default (best available unless
+/// overridden). Thread-safe to read; see set_sha256_kernel for writes.
+[[nodiscard]] Sha256Kernel sha256_kernel();
+[[nodiscard]] const char* sha256_kernel_name();
+[[nodiscard]] const char* to_string(Sha256Kernel k);
+
+/// Overrides the process-wide default kernel (bench ablation / tests).
+/// Returns the kernel actually installed — a request for an unsupported
+/// kernel falls back to scalar. NOT thread-safe against concurrent hashing:
+/// call during single-threaded setup, before parallel trial workers start.
+/// Per-instance selection (Sha256{kernel}, HmacKey{key, kernel}) is the
+/// race-free way to mix kernels inside one run.
+Sha256Kernel set_sha256_kernel(Sha256Kernel k);
+
+namespace detail {
+/// Compresses `nblocks` consecutive 64-byte blocks into `state`. Multi-block
+/// so the SHA-NI kernel keeps the state in registers across a long input.
+using CompressFn = void (*)(Sha256State& state, const std::uint8_t* blocks,
+                            std::size_t nblocks);
+[[nodiscard]] CompressFn compress_fn(Sha256Kernel k);
+}  // namespace detail
+
+/// Raw block compression with the process-default kernel; building block for
+/// HMAC midstate capture (crypto::HmacKey).
+void sha256_compress(Sha256State& state, const std::uint8_t* blocks,
+                     std::size_t nblocks);
+
 class Sha256 {
  public:
-  Sha256() { reset(); }
+  Sha256() : compress_{detail::compress_fn(sha256_kernel())} { reset(); }
+  /// Pins this instance to one kernel (ablation cells that must not depend
+  /// on — or mutate — the process-wide default).
+  explicit Sha256(Sha256Kernel k) : compress_{detail::compress_fn(k)} { reset(); }
 
   void reset();
-  void update(std::span<const std::uint8_t> data);
+  /// Seeds the hash from a captured midstate: `state` is the compression
+  /// state after absorbing exactly `blocks_absorbed` whole 64-byte blocks.
+  /// Continuing from a midstate is bit-identical to rehashing the absorbed
+  /// prefix, because SHA-256 is a pure block chain and the length padding
+  /// covers total bytes (tracked here as blocks_absorbed * 64).
+  void reset_from(const Sha256State& state, std::uint64_t blocks_absorbed);
+  SON_HOT void update(std::span<const std::uint8_t> data);
   void update(std::string_view s) {
     update(std::span{reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
   }
   /// Finalizes and returns the digest. The object must be reset() before
   /// further use.
-  [[nodiscard]] Digest finish();
+  SON_HOT [[nodiscard]] Digest finish();
 
   /// One-shot convenience.
   [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data);
   [[nodiscard]] static Digest hash(std::string_view s);
 
  private:
-  void process_block(const std::uint8_t* block);
-
-  std::array<std::uint32_t, 8> state_{};
+  detail::CompressFn compress_;
+  Sha256State state_{};
   std::array<std::uint8_t, 64> buffer_{};
   std::size_t buffer_len_ = 0;
   std::uint64_t total_bytes_ = 0;

@@ -8,11 +8,13 @@
 #include <any>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "crypto/hmac.hpp"
 #include "overlay/message.hpp"
 #include "overlay/types.hpp"
+#include "sim/hot.hpp"
 
 namespace son::overlay {
 
@@ -70,6 +72,25 @@ struct LinkFrame {
 /// (hello fields, link-state / group-state advertisements). Used for
 /// per-hop HMAC in intrusion-tolerant deployments so outsiders cannot
 /// inject hellos or forge topology/membership state.
+///
+/// The encoding splits into head || suffix, HMAC'd as two spans (identical
+/// to HMAC over the concatenation):
+///   * head — the fixed per-link fields (type, link, from, to, hello seq,
+///     timestamp, channel), exactly kControlAuthHeadBytes, encoded into a
+///     caller stack buffer.
+///   * suffix — the variable advertisement body (LSA / GSA), appended into a
+///     caller scratch vector whose capacity grows monotonically, so steady
+///     state is allocation-free. The suffix depends only on the ad content
+///     (not on which link carries it), which is what lets a K-link flood
+///     serialize it once.
+inline constexpr std::size_t kControlAuthHeadBytes = 23;
+
+SON_HOT std::size_t control_auth_head_bytes(const LinkFrame& f, std::span<std::uint8_t> out);
+SON_HOT void control_auth_suffix_into(const LinkFrame& f, std::vector<std::uint8_t>& out);
+
+/// Single-buffer concatenation (head || suffix): the seed-path
+/// reconstruction and the test reference. Allocates; hot paths use the
+/// two-span form above.
 [[nodiscard]] std::vector<std::uint8_t> control_auth_bytes(const LinkFrame& f);
 
 }  // namespace son::overlay

@@ -1,10 +1,18 @@
 #include "overlay/it_fair.hpp"
 
 #include <algorithm>
+#include <array>
 
 namespace son::overlay {
 
 // ---- Shared base -------------------------------------------------------------
+
+namespace {
+std::span<const std::uint8_t> payload_span(const Message& m) {
+  if (!m.payload) return {};
+  return std::span<const std::uint8_t>{m.payload->data(), m.payload->size()};
+}
+}  // namespace
 
 ItEndpointBase::~ItEndpointBase() { ctx_.simulator().cancel(pump_timer_); }
 
@@ -12,10 +20,26 @@ sim::Duration ItEndpointBase::pump_interval() const {
   return sim::Duration::from_seconds_f(1.0 / cfg_.it_egress_msgs_per_sec);
 }
 
-void ItEndpointBase::sign_frame(LinkFrame& f) const {
+const crypto::MacContext& ItEndpointBase::link_mac() {
+  if (!mac_.valid()) mac_ = ctx_.keys()->context(ctx_.peer());
+  return mac_;
+}
+
+void ItEndpointBase::sign_frame(LinkFrame& f) {
   if (!ctx_.authenticate() || ctx_.keys() == nullptr || !f.msg) return;
-  const auto bytes = auth_bytes(*f.msg);
-  f.auth = ctx_.keys()->sign(ctx_.peer(), std::span<const std::uint8_t>{bytes});
+  obs_sign_ops_.add();
+  if (ctx_.keys()->midstate()) {
+    std::array<std::uint8_t, kAuthHeadBytes> head;
+    const std::size_t n = auth_head_bytes(*f.msg, std::span{head});
+    f.auth = link_mac().sign(std::span<const std::uint8_t>{head.data(), n},
+                             payload_span(*f.msg));
+  } else {
+    // Seed-path reconstruction (midstate ablation): heap-serialize
+    // head || payload and derive the HMAC pads from the raw key each call.
+    // son-analyze: allow(hot-path-alloc) "ablation branch reconstructing the pre-fast-path behavior for A/B benchmarking; off in production runs"
+    const auto bytes = auth_bytes(*f.msg);
+    f.auth = ctx_.keys()->sign(ctx_.peer(), std::span<const std::uint8_t>{bytes});
+  }
   f.authenticated = true;
 }
 
@@ -26,8 +50,22 @@ bool ItEndpointBase::verify_frame(const LinkFrame& f) {
     ++stats_.auth_failures;
     return false;
   }
-  const auto bytes = auth_bytes(*f.msg);
-  const bool ok = ctx_.keys()->verify(f.from, std::span<const std::uint8_t>{bytes}, f.auth);
+  obs_verify_ops_.add();
+  bool ok;
+  if (ctx_.keys()->midstate()) {
+    std::array<std::uint8_t, kAuthHeadBytes> head;
+    const std::size_t n = auth_head_bytes(*f.msg, std::span{head});
+    const std::span<const std::uint8_t> head_sp{head.data(), n};
+    // Frames on a point-to-point link come from the peer; the cached link
+    // context holds exactly that pairwise key.
+    ok = (f.from == ctx_.peer())
+             ? link_mac().verify(head_sp, payload_span(*f.msg), f.auth)
+             : ctx_.keys()->verify(f.from, head_sp, payload_span(*f.msg), f.auth);
+  } else {
+    // son-analyze: allow(hot-path-alloc) "ablation branch reconstructing the pre-fast-path behavior for A/B benchmarking; off in production runs"
+    const auto bytes = auth_bytes(*f.msg);
+    ok = ctx_.keys()->verify(f.from, std::span<const std::uint8_t>{bytes}, f.auth);
+  }
   if (!ok) ++stats_.auth_failures;
   return ok;
 }

@@ -25,7 +25,9 @@
 #include <map>
 #include <set>
 
+#include "obs/counters.hpp"
 #include "overlay/link_protocols.hpp"
+#include "sim/hot.hpp"
 
 namespace son::overlay {
 
@@ -33,7 +35,9 @@ namespace son::overlay {
 class ItEndpointBase : public LinkProtocolEndpoint {
  public:
   ItEndpointBase(LinkContext& ctx, const LinkProtocolConfig& cfg)
-      : LinkProtocolEndpoint(ctx, cfg) {}
+      : LinkProtocolEndpoint(ctx, cfg),
+        obs_sign_ops_{obs::counter("crypto.sign_ops")},
+        obs_verify_ops_{obs::counter("crypto.verify_ops")} {}
   ~ItEndpointBase() override;
 
   struct Stats {
@@ -66,8 +70,16 @@ class ItEndpointBase : public LinkProtocolEndpoint {
   /// backpressured flows.)
   [[nodiscard]] virtual bool eligible(std::uint64_t /*key*/) const { return true; }
 
-  void sign_frame(LinkFrame& f) const;
-  [[nodiscard]] bool verify_frame(const LinkFrame& f);
+  /// Per-hop authentication fast path: auth input is streamed as the 64-byte
+  /// header encoding (stack buffer) followed by the shared payload buffer —
+  /// no serialization vector, no payload copy — through the link's resolved
+  /// MacContext (HMAC midstates). With the table's midstate knob off, the
+  /// seed path (heap-serialized auth_bytes + from-scratch HMAC) is
+  /// reconstructed instead; tags are bit-identical either way.
+  SON_HOT void sign_frame(LinkFrame& f);
+  SON_HOT [[nodiscard]] bool verify_frame(const LinkFrame& f);
+  /// The pairwise signing handle for this link's peer, resolved once.
+  [[nodiscard]] const crypto::MacContext& link_mac();
   [[nodiscard]] sim::Duration pump_interval() const;
 
   std::map<std::uint64_t, Queue> queues_;
@@ -75,6 +87,9 @@ class ItEndpointBase : public LinkProtocolEndpoint {
   std::uint64_t rr_last_key_ = ~std::uint64_t{0};
   sim::EventId pump_timer_ = sim::kInvalidEventId;
   Stats stats_;
+  crypto::MacContext mac_;  // lazily resolved from the key table, once
+  obs::Counter obs_sign_ops_;
+  obs::Counter obs_verify_ops_;
 };
 
 class ItPriorityEndpoint final : public ItEndpointBase {

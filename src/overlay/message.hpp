@@ -5,10 +5,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "crypto/hmac.hpp"
 #include "overlay/types.hpp"
+#include "sim/hot.hpp"
 #include "sim/time.hpp"
 
 namespace son::overlay {
@@ -52,10 +54,22 @@ struct Message {
   [[nodiscard]] std::size_t payload_size() const { return payload ? payload->size() : 0; }
 };
 
-/// Canonical byte encoding of the authenticated portion of a message (header
-/// fields that must not be forged + payload). Used as HMAC input by the
-/// intrusion-tolerant protocols. The source-routing mask is covered too:
+/// Exact size of the authenticated header encoding (auth_head_bytes): the
+/// fixed-width fields below sum to one SHA-256 block.
+inline constexpr std::size_t kAuthHeadBytes = 64;
+
+/// Canonical byte encoding of the authenticated HEADER portion of a message
+/// (fields that must not be forged; the payload is the second span of the
+/// HMAC input). Encodes exactly kAuthHeadBytes into `out` (which must be at
+/// least that large) and returns the size. Zero-allocation: the IT fast path
+/// encodes into a stack buffer and streams the shared payload buffer behind
+/// it, which is bit-identical to HMAC over auth_bytes() since HMAC input is
+/// the concatenation of its spans. The source-routing mask is covered too:
 /// it is stamped once by the origin and never rewritten in flight.
+SON_HOT std::size_t auth_head_bytes(const Message& m, std::span<std::uint8_t> out);
+
+/// Heap-allocating head+payload concatenation: the seed-path reconstruction
+/// (KeyTable midstate ablation) and the equivalence-test reference.
 [[nodiscard]] std::vector<std::uint8_t> auth_bytes(const Message& m);
 
 /// Wire size estimate for underlay queueing/bandwidth purposes.

@@ -1,6 +1,7 @@
 #include "overlay/node.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 
 #include "obs/recorder.hpp"
@@ -91,6 +92,9 @@ OverlayNode::OverlayNode(sim::Simulator& sim, net::Internet& internet, net::Host
     keys_ = std::make_unique<crypto::KeyTable>(
         cfg_.master_key, id_,
         static_cast<std::uint32_t>(topo_db_.base_graph().num_nodes()));
+    // Apply the ablation knob before any MacContext is resolved (per-link
+    // handles are resolved lazily, on the first signed frame).
+    keys_->set_midstate(cfg_.crypto_midstate);
   }
   internet_.bind(host_, cfg_.daemon_port,
                  [this](const net::Datagram& d) { on_datagram(d); });
@@ -474,8 +478,18 @@ void OverlayNode::send_frame_on_link(NeighborLink& nl, LinkFrame f) {
   // Intrusion-tolerant deployments authenticate the control plane hop-by-hop
   // so outsiders cannot inject hellos or forge topology/membership state.
   if (cfg_.authenticate && keys_ != nullptr && is_control_frame(f.type)) {
-    const auto bytes = control_auth_bytes(f);
-    f.auth = keys_->sign(nl.spec.peer, std::span<const std::uint8_t>{bytes});
+    if (keys_->midstate()) {
+      std::array<std::uint8_t, kControlAuthHeadBytes> head;
+      const std::size_t n = control_auth_head_bytes(f, std::span{head});
+      if (!nl.mac.valid()) nl.mac = keys_->context(nl.spec.peer);
+      f.auth = nl.mac.sign(std::span<const std::uint8_t>{head.data(), n},
+                           control_suffix_for_sign(f));
+    } else {
+      // Seed-path reconstruction (midstate ablation).
+      // son-analyze: allow(hot-path-alloc) "ablation branch reconstructing the pre-fast-path behavior for A/B benchmarking; off in production runs"
+      const auto bytes = control_auth_bytes(f);
+      f.auth = keys_->sign(nl.spec.peer, std::span<const std::uint8_t>{bytes});
+    }
     f.authenticated = true;
   }
   // Channel selection: hellos pin their channel; everything else uses the
@@ -518,7 +532,16 @@ void OverlayNode::on_datagram(const net::Datagram& d) {
 void OverlayNode::on_frame(LinkFrame f) {
   if (cfg_.authenticate && keys_ != nullptr && is_control_frame(f.type)) {
     bool ok = f.authenticated && f.from < keys_->size();
-    if (ok) {
+    if (ok && keys_->midstate()) {
+      // Re-serialize the claimed content into this node's own scratch (never
+      // trust, and never cache, bytes keyed by a sender-chosen id).
+      std::array<std::uint8_t, kControlAuthHeadBytes> head;
+      const std::size_t n = control_auth_head_bytes(f, std::span{head});
+      control_auth_suffix_into(f, verify_suffix_scratch_);
+      ok = keys_->verify(f.from, std::span<const std::uint8_t>{head.data(), n},
+                         std::span<const std::uint8_t>{verify_suffix_scratch_}, f.auth);
+    } else if (ok) {
+      // son-analyze: allow(hot-path-alloc) "ablation branch reconstructing the pre-fast-path behavior for A/B benchmarking; off in production runs"
       const auto bytes = control_auth_bytes(f);
       ok = keys_->verify(f.from, std::span<const std::uint8_t>{bytes}, f.auth);
     }
@@ -726,6 +749,31 @@ void OverlayNode::flood_control(FrameType type, std::any control, LinkBit arrive
   }
 }
 
+std::span<const std::uint8_t> OverlayNode::control_suffix_for_sign(const LinkFrame& f) {
+  NodeId origin = kInvalidNode;
+  std::uint64_t seq = 0;
+  if (const auto* lsa = std::any_cast<LinkStateAd>(&f.control)) {
+    origin = lsa->origin;
+    seq = lsa->seq;
+  } else if (const auto* gsa = std::any_cast<GroupStateAd>(&f.control)) {
+    origin = gsa->origin;
+    seq = gsa->seq;
+  } else {
+    return {};  // hellos carry no advertisement body
+  }
+  // Ad content is immutable per (type, origin, seq): origins bump seq on
+  // every new advertisement, so the key fully addresses the bytes.
+  if (!sign_suffix_valid_ || sign_suffix_type_ != f.type || sign_suffix_origin_ != origin ||
+      sign_suffix_seq_ != seq) {
+    control_auth_suffix_into(f, sign_suffix_);
+    sign_suffix_type_ = f.type;
+    sign_suffix_origin_ = origin;
+    sign_suffix_seq_ = seq;
+    sign_suffix_valid_ = true;
+  }
+  return std::span<const std::uint8_t>{sign_suffix_};
+}
+
 void OverlayNode::handle_lsa(const LinkFrame& f) {
   const auto* ad = std::any_cast<LinkStateAd>(&f.control);
   if (ad == nullptr) return;
@@ -757,6 +805,13 @@ LinkProtocolEndpoint* OverlayNode::find_endpoint(LinkBit b, LinkProtocol proto) 
   return it == nl->endpoints.end() ? nullptr : it->second.get();
 }
 
+std::vector<LinkBit> OverlayNode::link_bits() const {
+  std::vector<LinkBit> bits;
+  bits.reserve(links_.size());
+  for (const auto& nl : links_) bits.push_back(nl.spec.link);
+  return bits;
+}
+
 OverlayNode::LinkHealth OverlayNode::link_health(LinkBit b) const {
   LinkHealth h;
   for (const auto& nl : links_) {
@@ -771,27 +826,76 @@ OverlayNode::LinkHealth OverlayNode::link_health(LinkBit b) const {
   return h;
 }
 
-void OverlayNode::bench_forward_lookup(const Message& msg) {
+crypto::Tag OverlayNode::bench_make_arrival_tag(const Message& msg, LinkBit arrived_on) const {
+  if (keys_ == nullptr) return {};
+  const auto* nl = const_cast<OverlayNode*>(this)->link_by_bit(arrived_on);
+  if (nl == nullptr) return {};
+  const auto bytes = auth_bytes(msg);
+  return keys_->sign(nl->spec.peer, std::span<const std::uint8_t>{bytes});
+}
+
+OverlayNode::ForwardAuthResult OverlayNode::bench_forward_lookup(const Message& msg,
+                                                                 LinkBit arrived_on,
+                                                                 const crypto::Tag* in_auth,
+                                                                 BenchAuthPath path) {
   // The per-message forwarding work of an intermediate node: routing lookup
   // (+ dedup for source-based schemes) and, in IT mode, HMAC verify+re-sign.
+  ForwardAuthResult res;
   if (msg.hdr.scheme == RouteScheme::kLinkState) {
-    volatile LinkBit nh = router_.next_hop(msg.hdr.dest.node);
-    (void)nh;
+    res.egress = router_.next_hop(msg.hdr.dest.node);
   } else {
     volatile bool dup = dedup_.seen_or_insert(msg.hdr.origin_id);
     (void)dup;
-    const auto& links = router_.adjacent_mask_links(msg.hdr.mask, kInvalidLinkBit);
-    volatile std::size_t n = links.size();
-    (void)n;
+    const auto& links = router_.adjacent_mask_links(msg.hdr.mask, arrived_on);
+    if (!links.empty()) res.egress = links.front();
   }
-  if (cfg_.authenticate && keys_ != nullptr && !links_.empty()) {
+  if (!cfg_.authenticate || keys_ == nullptr || links_.empty()) return res;
+
+  // Verify is keyed to the INGRESS link's peer (who signed the arriving
+  // frame); the re-sign to the EGRESS link's peer (who will verify it next).
+  // These are distinct pairwise keys on any real transit hop.
+  NeighborLink* in_nl = link_by_bit(arrived_on);
+  if (in_nl == nullptr) in_nl = &links_.front();
+  NeighborLink* out_nl = link_by_bit(res.egress);
+  if (out_nl == nullptr || out_nl == in_nl) {
+    out_nl = in_nl;
+    for (auto& nl : links_) {
+      if (&nl != in_nl) {
+        out_nl = &nl;
+        break;
+      }
+    }
+  }
+
+  if (path == BenchAuthPath::kFast && keys_->midstate()) {
+    std::array<std::uint8_t, kAuthHeadBytes> head;
+    const std::size_t n = auth_head_bytes(msg, std::span{head});
+    const std::span<const std::uint8_t> head_sp{head.data(), n};
+    const std::span<const std::uint8_t> body =
+        msg.payload ? std::span<const std::uint8_t>{msg.payload->data(), msg.payload->size()}
+                    : std::span<const std::uint8_t>{};
+    if (!in_nl->mac.valid()) in_nl->mac = keys_->context(in_nl->spec.peer);
+    if (!out_nl->mac.valid()) out_nl->mac = keys_->context(out_nl->spec.peer);
+    res.verified = in_auth == nullptr || in_nl->mac.verify(head_sp, body, *in_auth);
+    res.resigned = out_nl->mac.sign(head_sp, body);
+  } else {
+    // Seed path: heap-serialize the auth input and derive the HMAC key pads
+    // from the raw pairwise key on every tag, pinned to the scalar kernel —
+    // the seed predates runtime SHA-256 dispatch, so the before/after cells
+    // must not let the hardware kernel leak into the baseline.
     const auto bytes = auth_bytes(msg);
-    const auto tag =
-        keys_->sign(links_.front().spec.peer, std::span<const std::uint8_t>{bytes});
-    volatile bool ok =
-        keys_->verify(links_.front().spec.peer, std::span<const std::uint8_t>{bytes}, tag);
-    (void)ok;
+    const std::span<const std::uint8_t> sp{bytes};
+    constexpr auto kSeedKernel = crypto::Sha256Kernel::kScalar;
+    res.verified =
+        in_auth == nullptr ||
+        crypto::verify_tag(
+            crypto::hmac_tag(std::span<const std::uint8_t>{keys_->key_for(in_nl->spec.peer)}, sp,
+                             kSeedKernel),
+            *in_auth);
+    res.resigned = crypto::hmac_tag(
+        std::span<const std::uint8_t>{keys_->key_for(out_nl->spec.peer)}, sp, kSeedKernel);
   }
+  return res;
 }
 
 }  // namespace son::overlay

@@ -62,6 +62,11 @@ struct NodeConfig {
   /// Hop-by-hop HMAC authentication (intrusion-tolerant deployments).
   bool authenticate = false;
   crypto::Key master_key{};
+  /// Ablation knob (forwarded to the KeyTable before any frame is signed):
+  /// false reconstructs the seed crypto path — heap-serialized auth input and
+  /// both HMAC key-pad compressions recomputed per tag. Tags are
+  /// bit-identical either way.
+  bool crypto_midstate = true;
 
   /// UDP-style port the daemon listens on. Parallel overlays on the same
   /// machines use distinct ports (§II-D: "multiple overlays can even be run
@@ -205,6 +210,9 @@ class OverlayNode {
   };
   [[nodiscard]] LinkHealth link_health(LinkBit b) const;
 
+  /// Link bits of this node's adjacent links (bench/test introspection).
+  [[nodiscard]] std::vector<LinkBit> link_bits() const;
+
   void set_compromise(const CompromiseBehavior& b) { compromise_ = b; }
   [[nodiscard]] bool compromised() const { return compromise_.active; }
 
@@ -222,9 +230,32 @@ class OverlayNode {
 
   void set_tracer(sim::Tracer t) { tracer_ = std::move(t); }
 
+  /// Which crypto path the forwarding microbenchmark exercises.
+  enum class BenchAuthPath : std::uint8_t {
+    kFast,  // midstate MacContexts + zero-allocation two-span streaming
+    kSeed,  // heap-serialized auth_bytes + from-scratch HMAC per tag
+  };
+  struct ForwardAuthResult {
+    LinkBit egress = kInvalidLinkBit;  // routed outgoing link
+    bool verified = false;
+    crypto::Tag resigned{};
+  };
+
   /// Forwarding hot path, exposed for the §II-D processing-cost
-  /// microbenchmark: routing lookup + header handling for one message.
-  void bench_forward_lookup(const Message& msg);
+  /// microbenchmark: routing lookup + header handling for one message and,
+  /// in IT mode, the per-hop HMAC verify + re-sign a transit node performs.
+  /// The verify is keyed to the peer of `arrived_on` (the ingress link) and
+  /// the re-sign to the peer of the routed egress link — two distinct
+  /// pairwise keys, exactly as in real forwarding. Pass `in_auth` (built
+  /// once with bench_make_arrival_tag, outside the timed loop) so the loop
+  /// measures exactly verify + re-sign.
+  ForwardAuthResult bench_forward_lookup(const Message& msg, LinkBit arrived_on,
+                                         const crypto::Tag* in_auth = nullptr,
+                                         BenchAuthPath path = BenchAuthPath::kFast);
+  /// The tag `msg` carries when it arrives on `arrived_on` (i.e. what that
+  /// link's peer signs toward this node — the pairwise key is symmetric).
+  [[nodiscard]] crypto::Tag bench_make_arrival_tag(const Message& msg,
+                                                   LinkBit arrived_on) const;
 
  private:
   struct ChannelState {
@@ -249,6 +280,9 @@ class OverlayNode {
     // through it), so it is declared first.
     std::unique_ptr<class NodeLinkContext> ctx;
     std::map<LinkProtocol, std::unique_ptr<LinkProtocolEndpoint>> endpoints;
+    /// Pairwise signing handle toward spec.peer, resolved from the key table
+    /// once (lazily, after the midstate knob is applied in the constructor).
+    crypto::MacContext mac;
   };
 
   friend class NodeLinkContext;
@@ -293,6 +327,14 @@ class OverlayNode {
   // --- State flooding ---
   void refresh_link_ad(bool force_flood);
   void flood_control(FrameType type, std::any control, LinkBit arrived_on);
+  /// Sign-side serialize-once cache for flooded advertisement bodies: the
+  /// auth suffix of an LSA/GSA depends only on (type, origin, seq), so a
+  /// K-link x flood_copies fan-out of one ad serializes it once and the
+  /// remaining copies reuse the cached bytes (each still gets its own
+  /// per-peer midstate HMAC). Sign-side only by design: caching on the
+  /// VERIFY side would let an attacker poison the cache for an (origin, seq)
+  /// it does not own. Hello frames have an empty suffix and bypass this.
+  [[nodiscard]] std::span<const std::uint8_t> control_suffix_for_sign(const LinkFrame& f);
   void handle_lsa(const LinkFrame& f);
   void handle_group_state(const LinkFrame& f);
   void state_refresh_tick();
@@ -323,6 +365,16 @@ class OverlayNode {
   std::unique_ptr<crypto::KeyTable> keys_;
   CompromiseBehavior compromise_;
   bool crashed_ = false;
+
+  // Control-plane auth scratch buffers: capacity grows monotonically, so the
+  // steady state (after the first few ads) signs and verifies without heap
+  // allocation. sign_suffix_ doubles as the flood serialize-once cache.
+  std::vector<std::uint8_t> verify_suffix_scratch_;
+  std::vector<std::uint8_t> sign_suffix_;
+  FrameType sign_suffix_type_ = FrameType::kData;
+  NodeId sign_suffix_origin_ = kInvalidNode;
+  std::uint64_t sign_suffix_seq_ = 0;
+  bool sign_suffix_valid_ = false;
 
   std::uint64_t own_lsa_seq_ = 0;
   std::uint64_t own_group_seq_ = 0;

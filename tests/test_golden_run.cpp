@@ -340,5 +340,146 @@ TEST(GoldenRun, ShardedRunIsRepeatable) {
   EXPECT_EQ(a.counter_entries, b.counter_entries);
 }
 
+// ---- Intrusion-tolerant crypto fast-path contract ---------------------------
+
+/// An AUTHENTICATED sharded overlay scenario: per-hop HMAC on IT data frames
+/// and on the signed control plane (hellos, LSAs, GSAs), overlay client
+/// flows on IT-Priority and IT-Reliable, observability on. Used to pin that
+/// the crypto fast path (midstate MacContexts, two-span streaming,
+/// flood-suffix cache) changes no observable byte vs the seed-path ablation
+/// knob, and stays a pure wall-clock knob across worker counts.
+ShardedGoldenResult run_it_auth_scenario(unsigned workers, bool midstate) {
+  obs::Recorder rec{16, 1 << 12, /*system_rings=*/12};
+  rec.set_sample_all(true);
+  obs::ScopedRecorder rscope{rec};
+  obs::CounterRegistry reg;
+  obs::ScopedCounterRegistry cscope{reg};
+
+  overlay::ShardedMapOptions opts;
+  opts.workers = workers;
+  opts.underlay.backbone_loss = 0.01;
+  opts.net.convergence_delay = sim::Duration::seconds(1);
+  opts.node.authenticate = true;
+  opts.node.master_key[2] = 0x5A;
+  opts.node.master_key[30] = 0xC3;
+  opts.node.crypto_midstate = midstate;
+  auto fx = overlay::build_sharded_map(topo::continental_us(), opts, 0xF00D);
+
+  ShardedGoldenResult r;
+  const std::size_t n = fx.underlay.hosts.size();
+  std::vector<std::uint64_t> hash(n, 1469598103934665603ULL);
+  std::vector<std::int64_t> last(n, 0);
+  const auto mix = [](std::uint64_t& h, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  // IT overlay flows terminate at overlay clients; each handler runs on its
+  // destination node's partition and folds into that node's accumulator.
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& ep = fx.overlay->node(static_cast<overlay::NodeId>(i)).connect(200);
+    ep.set_handler([&, i](const overlay::Message& m, sim::Duration lat) {
+      mix(hash[i], m.hdr.origin_id);
+      mix(hash[i], static_cast<std::uint64_t>(lat.ns()));
+      last[i] = lat.ns();
+      ++hash[i];  // distinguish identical (id, lat) repeats
+    });
+  }
+
+  fx.settle(3_s);
+  const sim::TimePoint t0 = fx.kernel->now();
+
+  // Six cross-country flows, alternating IT-Priority / IT-Reliable, each
+  // ticking on its source node's own partition simulator.
+  struct ItFlow {
+    overlay::ClientEndpoint& src;
+    sim::Simulator& sim;
+    overlay::Destination dest;
+    overlay::ServiceSpec spec;
+    sim::TimePoint stop;
+    void tick() {
+      if (sim.now() >= stop) return;
+      src.send(dest, overlay::make_payload(300), spec);
+      sim.schedule(sim::Duration::milliseconds(7), [this]() { tick(); });
+    }
+  };
+  std::vector<std::unique_ptr<ItFlow>> flows;
+  for (std::size_t i = 0; i < 6; ++i) {
+    auto& sim = fx.node_sim(static_cast<overlay::NodeId>(i));
+    const auto dst = static_cast<overlay::NodeId>((i + n / 2) % n);
+    overlay::ServiceSpec spec;
+    spec.link_protocol = (i % 2 == 0) ? overlay::LinkProtocol::kITPriority
+                                      : overlay::LinkProtocol::kITReliable;
+    flows.push_back(std::make_unique<ItFlow>(ItFlow{
+        fx.overlay->node(static_cast<overlay::NodeId>(i)).connect(100), sim,
+        overlay::Destination::unicast(dst, 200), spec, t0 + 1500_ms}));
+    sim.schedule_at(t0 + sim::Duration::microseconds(211 * (i + 1)),
+                    [f = flows.back().get()]() { f->tick(); });
+  }
+
+  fx.kernel->run_until(t0 + 2500_ms);
+
+  std::uint64_t folded = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    mix(folded, hash[i]);
+    if (last[i] > r.last_delivery_ns) r.last_delivery_ns = last[i];
+  }
+  r.delivery_hash = folded;
+  for (overlay::NodeId i = 0; i < static_cast<overlay::NodeId>(n); ++i) {
+    const auto& s = fx.overlay->node(i).stats();
+    r.sent += s.originated;
+    r.delivered += s.delivered_local;
+    r.dropped_total += s.control_auth_failures;  // must stay zero: keys agree
+  }
+  r.kernel_rounds = fx.kernel->rounds();
+  r.counter_entries = reg.entries();
+  r.trace = rec.merged();
+  return r;
+}
+
+// The fast path must not move a single byte: same deliveries, same latencies
+// (to the nanosecond, via the delivery hash), same merged trace, same
+// counters — whether tags come from cached midstates + two-span streaming or
+// from the reconstructed seed path, and whatever the worker count.
+TEST(GoldenRun, AuthenticatedItFastPathMatchesSeedPathAndWorkers) {
+  const ShardedGoldenResult fast1 = run_it_auth_scenario(1, /*midstate=*/true);
+
+  // Real authenticated traffic flowed and no control frame failed auth.
+  EXPECT_GT(fast1.sent, 100u);
+  EXPECT_GT(fast1.delivered, 0u);
+  EXPECT_EQ(fast1.dropped_total, 0u);
+  // The obs counters actually counted per-hop crypto work.
+  std::uint64_t sign_ops = 0, verify_ops = 0;
+  for (const auto& [name, value] : fast1.counter_entries) {
+    if (name == "crypto.sign_ops") sign_ops = value;
+    if (name == "crypto.verify_ops") verify_ops = value;
+  }
+  EXPECT_GT(sign_ops, 0u);
+  EXPECT_GT(verify_ops, 0u);
+
+  const ShardedGoldenResult fast4 = run_it_auth_scenario(4, /*midstate=*/true);
+  EXPECT_EQ(fast4.delivery_hash, fast1.delivery_hash);
+  EXPECT_EQ(fast4.last_delivery_ns, fast1.last_delivery_ns);
+  EXPECT_EQ(fast4.sent, fast1.sent);
+  EXPECT_EQ(fast4.delivered, fast1.delivered);
+  EXPECT_EQ(fast4.counter_entries, fast1.counter_entries);
+  ASSERT_EQ(fast4.trace.size(), fast1.trace.size());
+  EXPECT_EQ(std::memcmp(fast4.trace.data(), fast1.trace.data(),
+                        fast1.trace.size() * sizeof(obs::EventRecord)),
+            0);
+
+  const ShardedGoldenResult seed = run_it_auth_scenario(1, /*midstate=*/false);
+  EXPECT_EQ(seed.delivery_hash, fast1.delivery_hash);
+  EXPECT_EQ(seed.last_delivery_ns, fast1.last_delivery_ns);
+  EXPECT_EQ(seed.sent, fast1.sent);
+  EXPECT_EQ(seed.delivered, fast1.delivered);
+  EXPECT_EQ(seed.counter_entries, fast1.counter_entries);
+  ASSERT_EQ(seed.trace.size(), fast1.trace.size());
+  EXPECT_EQ(std::memcmp(seed.trace.data(), fast1.trace.data(),
+                        fast1.trace.size() * sizeof(obs::EventRecord)),
+            0);
+}
+
 }  // namespace
 }  // namespace son
