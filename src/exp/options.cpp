@@ -22,6 +22,9 @@ namespace {
       "                  engine (default 0 = legacy per-object senders)\n"
       "  --load-curve C  arrival-rate curve for --flows workloads:\n"
       "                  const | diurnal | flash (default const)\n"
+      "  --churn R[,M]   node crash-recover churn: R cycles/sec with spacing\n"
+      "                  model M: poisson | periodic (default 0 = bench's\n"
+      "                  own churn defaults)\n"
       "  --json-out P    write the JSON report to P (default BENCH_%s.json)\n"
       "  --no-json       do not write a JSON report\n"
       "  --quick         reduced durations/replications (CI smoke mode)\n"
@@ -126,6 +129,25 @@ Options Options::parse(int& argc, char** argv, std::string bench_name, int defau
         usage(o, 2);
       }
       o.load_curve = v;
+    } else if (std::strcmp(arg, "--churn") == 0) {
+      const char* v = value();
+      char* end = nullptr;
+      const double rate = std::strtod(v, &end);
+      if (end == v || rate < 0.0 || !(rate == rate) ||
+          (*end != '\0' && *end != ',')) {
+        std::fprintf(stderr, "--churn needs RATE[,MODEL] with RATE >= 0, got '%s'\n", v);
+        usage(o, 2);
+      }
+      o.churn_rate = rate;
+      if (*end == ',') {
+        const char* model = end + 1;
+        if (std::strcmp(model, "poisson") != 0 && std::strcmp(model, "periodic") != 0) {
+          std::fprintf(stderr, "--churn model must be poisson or periodic, got '%s'\n",
+                       model);
+          usage(o, 2);
+        }
+        o.churn_model = model;
+      }
     } else if (std::strcmp(arg, "--seed-base") == 0) {
       o.seed_base = parse_u64(value(), o);
     } else if (std::strcmp(arg, "--seeds") == 0) {

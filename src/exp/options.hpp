@@ -9,6 +9,8 @@
 //   --flows N       concurrent flows via the flyweight FlowEngine (0 = legacy
 //                   per-object senders)
 //   --load-curve C  arrival-rate curve for --flows: const | diurnal | flash
+//   --churn R[,M]   node crash-recover churn at R cycles/sec, spacing model
+//                   M: poisson | periodic (0 = no churn)
 //   --json-out P    report path (default BENCH_<name>.json in the cwd)
 //   --no-json       skip writing the report
 //   --quick         reduced durations/replications for CI smoke runs
@@ -35,6 +37,12 @@ struct Options {
   /// Arrival-rate curve for FlowEngine workloads (the --load-curve flag):
   /// "const", "diurnal" or "flash". Validated at parse time.
   std::string load_curve = "const";
+  /// Node crash-recover cycles per second (the --churn flag). 0 = the
+  /// bench's own churn defaults (static membership for most benches).
+  double churn_rate = 0.0;
+  /// Inter-event spacing model for --churn: "poisson" or "periodic".
+  /// Validated at parse time; overlay::churn_model_from_string decodes it.
+  std::string churn_model = "poisson";
   std::uint64_t seed_base = 1;
   std::vector<std::uint64_t> seeds;  // explicit --seeds list, if given
   bool quick = false;

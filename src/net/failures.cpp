@@ -30,4 +30,15 @@ void FailureScript::loss_burst(sim::TimePoint from, sim::TimePoint until, LinkId
   net_.link_dir(link, b).add_forced_loss_window(from, until, rate);
 }
 
+void FailureScript::host_outage(sim::TimePoint from, sim::TimePoint until, HostId host) {
+  for (AttachIndex a = 0; a < net_.attachments(host); ++a) {
+    net_.access_dir(host, a, /*up=*/true).add_forced_loss_window(from, until, 1.0);
+    net_.access_dir(host, a, /*up=*/false).add_forced_loss_window(from, until, 1.0);
+  }
+}
+
+void FailureScript::at(sim::TimePoint t, std::function<void()> fn) {
+  sim_.schedule_at(t, std::move(fn));
+}
+
 }  // namespace son::net

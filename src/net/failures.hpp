@@ -5,6 +5,8 @@
 // t=10s, restore at t=70s").
 #pragma once
 
+#include <functional>
+
 #include "net/internet.hpp"
 #include "sim/simulator.hpp"
 
@@ -24,6 +26,16 @@ class FailureScript {
 
   /// Forces `rate` loss on both directions of `link` during [from, until).
   void loss_burst(sim::TimePoint from, sim::TimePoint until, LinkId link, double rate);
+
+  /// Host-level outage: every access link of `host` drops all traffic in
+  /// both directions during [from, until). To the rest of the internet the
+  /// host is unreachable without any believed-topology change — the way a
+  /// crashed or partitioned machine actually looks from outside.
+  void host_outage(sim::TimePoint from, sim::TimePoint until, HostId host);
+
+  /// Arbitrary scripted action, for scenario steps the fixed primitives
+  /// don't cover (e.g. overlay-level node crash/recover churn events).
+  void at(sim::TimePoint t, std::function<void()> fn);
 
  private:
   sim::Simulator& sim_;

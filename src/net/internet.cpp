@@ -392,6 +392,11 @@ LinkDirection& Internet::link_dir(LinkId link, RouterId from) {
   return l.a == from ? l.ab : l.ba;
 }
 
+LinkDirection& Internet::access_dir(HostId host, AttachIndex attach, bool up) {
+  Attachment& at = hosts_.at(host).attaches.at(attach);
+  return up ? at.up_link : at.down_link;
+}
+
 std::pair<RouterId, RouterId> Internet::link_endpoints(LinkId link) const {
   const Link& l = links_.at(link);
   return {l.a, l.b};

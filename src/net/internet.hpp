@@ -119,6 +119,9 @@ class Internet {
 
   /// Direction accessor for loss injection: the direction from `from`.
   LinkDirection& link_dir(LinkId link, RouterId from);
+  /// Access-link direction accessor for host-outage injection: the
+  /// host -> router direction when `up` is true, router -> host otherwise.
+  LinkDirection& access_dir(HostId host, AttachIndex attach, bool up);
   [[nodiscard]] LinkId find_link(RouterId a, RouterId b) const;
   [[nodiscard]] std::pair<RouterId, RouterId> link_endpoints(LinkId link) const;
 

@@ -1,0 +1,75 @@
+#include "overlay/churn.hpp"
+
+#include <vector>
+
+#include "sim/shard.hpp"
+
+namespace son::overlay {
+
+std::optional<ChurnModel> churn_model_from_string(std::string_view s) {
+  if (s == "poisson") return ChurnModel::kPoisson;
+  if (s == "periodic") return ChurnModel::kPeriodic;
+  return std::nullopt;
+}
+
+const char* to_string(ChurnModel m) {
+  return m == ChurnModel::kPoisson ? "poisson" : "periodic";
+}
+
+void ChurnScript::schedule(sim::TimePoint t, std::function<void()> fn) {
+  if (sim::ShardedKernel* k = net_.sharded_kernel()) {
+    // son-analyze: allow(shard-confinement) "script-setup-time only by documented contract (churn.hpp): events are materialized before the kernel runs, never from inside a partition event; the control-sim path is exactly what makes churn worker-count invariant"
+    k->schedule_global(t, std::move(fn));
+  } else {
+    (void)net_.simulator().schedule_at(t, std::move(fn));
+  }
+}
+
+// The scheduled callbacks capture the NETWORK, not the script: a ChurnScript
+// is a transient driver that may go out of scope long before its events
+// fire, while the OverlayNetwork owns the simulation and outlives the run.
+
+void ChurnScript::crash(sim::TimePoint at, NodeId node) {
+  schedule(at, [net = &net_, node]() { net->node(node).set_crashed(true); });
+}
+
+void ChurnScript::recover(sim::TimePoint at, NodeId node) {
+  schedule(at, [net = &net_, node]() { net->node(node).restart(); });
+}
+
+void ChurnScript::crash_recover(sim::TimePoint at, NodeId node, sim::Duration down_for) {
+  crash(at, node);
+  recover(at + down_for, node);
+}
+
+std::size_t ChurnScript::random_churn(const RandomChurnConfig& cfg) {
+  if (cfg.events_per_sec <= 0.0 || cfg.until <= cfg.from) return 0;
+  // Dedicated stream: churn draws never perturb node/internet randomness.
+  sim::Rng rng{cfg.seed, /*stream=*/0xC402};
+  const double mean_gap_s = 1.0 / cfg.events_per_sec;
+  // Down-intervals already scheduled, so an arrival never crashes a node
+  // that is still down from a previous cycle (restart() on a down node
+  // would silently shorten its outage and skew the measured rate).
+  std::vector<sim::TimePoint> busy_until(net_.size(), sim::TimePoint::zero());
+  std::vector<NodeId> eligible;
+  std::size_t scheduled = 0;
+  sim::TimePoint t = cfg.from;
+  for (;;) {
+    const double gap_s =
+        cfg.model == ChurnModel::kPoisson ? rng.exponential(mean_gap_s) : mean_gap_s;
+    t = t + sim::Duration::from_seconds_f(gap_s);
+    if (t >= cfg.until) break;
+    eligible.clear();
+    for (NodeId n = 0; n < net_.size(); ++n) {  // ascending: deterministic draw
+      if (n != cfg.spare && busy_until[n] <= t) eligible.push_back(n);
+    }
+    if (eligible.empty()) continue;  // whole overlay mid-outage; skip arrival
+    const NodeId victim = eligible[rng.index(eligible.size())];
+    crash_recover(t, victim, cfg.down_for);
+    busy_until[victim] = t + cfg.down_for;
+    ++scheduled;
+  }
+  return scheduled;
+}
+
+}  // namespace son::overlay

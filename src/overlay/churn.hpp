@@ -1,0 +1,99 @@
+// Scripted overlay churn: node join/leave/crash-recover events driven into
+// an OverlayNetwork on a deterministic schedule.
+//
+// The paper's deployment model provisions a fixed set of overlay sites, but
+// the daemons on them come and go: processes crash and recover, machines are
+// taken down for maintenance and rejoin. ChurnScript is the experiment-side
+// driver for that: scenario scripts ("crash node 3 at t=10s, recover it at
+// t=40s") and a random-churn generator for rate sweeps.
+//
+// Determinism contract: the full event list is materialized at SCRIPT time
+// from a dedicated sim::Rng, before the simulation runs, so the schedule is
+// a pure function of (config, seed) — independent of simulation interleaving
+// and of the sharded worker count. On a sharded deployment every event goes
+// through ShardedKernel::schedule_global (the control-sim path), which runs
+// it at a round barrier with all partitions quiesced at exactly the event
+// time; workers=1 and workers=K therefore see bit-identical churn.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string_view>
+
+#include "overlay/network.hpp"
+#include "overlay/types.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace son::overlay {
+
+/// Inter-event spacing model for random_churn.
+enum class ChurnModel {
+  kPoisson,   ///< exponential gaps (memoryless arrivals; the usual model)
+  kPeriodic,  ///< fixed 1/rate spacing (worst-case sustained churn)
+};
+
+/// Parses the --churn model token; nullopt for anything unknown.
+[[nodiscard]] std::optional<ChurnModel> churn_model_from_string(std::string_view s);
+[[nodiscard]] const char* to_string(ChurnModel m);
+
+class ChurnScript {
+ public:
+  explicit ChurnScript(OverlayNetwork& net) : net_{net} {}
+
+  /// Crash-stop at `at`: the node falls silent (neighbors detect and route
+  /// around it) but keeps its volatile state, so a later set_crashed(false)
+  /// would resume the same life. Pair with recover() for the cold-restart
+  /// cycle churn experiments care about.
+  void crash(sim::TimePoint at, NodeId node);
+
+  /// Cold recovery at `at`: OverlayNode::restart() — fresh incarnation,
+  /// reset counters, immediate re-advertisement. Valid on a crashed node
+  /// (crash-recover) or a live one (in-place process restart).
+  void recover(sim::TimePoint at, NodeId node);
+
+  /// Graceful departure. The overlay has no goodbye message — a leaving
+  /// node simply falls silent and the membership timeout reclaims its state
+  /// — so leave is crash-stop by another name; the distinct verb keeps
+  /// scenario scripts honest about intent.
+  void leave(sim::TimePoint at, NodeId node) { crash(at, node); }
+
+  /// A provisioned node coming online: identical to recover() (the overlay
+  /// set is fixed; "join" is a departed member returning at a fresh
+  /// incarnation).
+  void join(sim::TimePoint at, NodeId node) { recover(at, node); }
+
+  /// The canonical cycle: crash at `at`, recover `down_for` later.
+  void crash_recover(sim::TimePoint at, NodeId node, sim::Duration down_for);
+
+  struct RandomChurnConfig {
+    sim::TimePoint from;
+    sim::TimePoint until;
+    /// Crash-recover cycles per second across the whole overlay.
+    double events_per_sec = 0.0;
+    /// Outage length of each cycle.
+    sim::Duration down_for = sim::Duration::seconds(1);
+    ChurnModel model = ChurnModel::kPoisson;
+    std::uint64_t seed = 1;
+    /// Never churn this node (benchmarks keep their observer alive).
+    NodeId spare = kInvalidNode;
+  };
+
+  /// Schedules crash-recover cycles over [from, until) at the given rate.
+  /// Victims are drawn uniformly from nodes not currently down and not
+  /// `spare`; an arrival finding no eligible victim is skipped. Returns the
+  /// number of cycles actually scheduled.
+  std::size_t random_churn(const RandomChurnConfig& cfg);
+
+ private:
+  /// Routes through the sharded kernel's control sim when there is one
+  /// (round-barrier execution → worker-count invariance), else the plain
+  /// simulator. Call only before the run / between runs, never from inside
+  /// a partition event.
+  void schedule(sim::TimePoint t, std::function<void()> fn);
+
+  OverlayNetwork& net_;
+};
+
+}  // namespace son::overlay

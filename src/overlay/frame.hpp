@@ -53,6 +53,12 @@ struct LinkFrame {
   std::uint64_t hello_seq = 0;
   std::uint8_t channel = 0;
 
+  /// Sender's incarnation number (bumped on crash-recovery restart). A peer
+  /// seeing a higher incarnation resets all per-link protocol state for that
+  /// neighbor (the pre-crash receive windows and acks are void); frames from
+  /// an older incarnation are pre-crash ghosts and are dropped.
+  std::uint32_t incarnation = 0;
+
   /// Remaining recovery-time budget hint (retransmission requests), so the
   /// responder can space its M retransmissions inside the deadline.
   sim::Duration budget = sim::Duration::zero();
@@ -76,14 +82,14 @@ struct LinkFrame {
 /// The encoding splits into head || suffix, HMAC'd as two spans (identical
 /// to HMAC over the concatenation):
 ///   * head — the fixed per-link fields (type, link, from, to, hello seq,
-///     timestamp, channel), exactly kControlAuthHeadBytes, encoded into a
-///     caller stack buffer.
+///     timestamp, channel, incarnation), exactly kControlAuthHeadBytes,
+///     encoded into a caller stack buffer.
 ///   * suffix — the variable advertisement body (LSA / GSA), appended into a
 ///     caller scratch vector whose capacity grows monotonically, so steady
 ///     state is allocation-free. The suffix depends only on the ad content
 ///     (not on which link carries it), which is what lets a K-link flood
 ///     serialize it once.
-inline constexpr std::size_t kControlAuthHeadBytes = 23;
+inline constexpr std::size_t kControlAuthHeadBytes = 27;
 
 SON_HOT std::size_t control_auth_head_bytes(const LinkFrame& f, std::span<std::uint8_t> out);
 SON_HOT void control_auth_suffix_into(const LinkFrame& f, std::vector<std::uint8_t>& out);

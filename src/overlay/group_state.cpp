@@ -7,15 +7,30 @@ namespace son::overlay {
 bool GroupDb::apply(const GroupStateAd& ad) {
   if (ad.origin >= by_origin_.size()) return false;
   PerOrigin& po = by_origin_[ad.origin];
-  if (ad.seq <= po.seq) return false;
+  if (ad.incarnation < po.incarnation) return false;  // a previous life's flood
+  if (ad.incarnation == po.incarnation && ad.seq <= po.seq) return false;
+  po.incarnation = ad.incarnation;
   po.seq = ad.seq;
   po.joined = ad.joined;
   ++version_;
   return true;
 }
 
+bool GroupDb::evict_origin(NodeId origin) {
+  if (origin >= by_origin_.size()) return false;
+  PerOrigin& po = by_origin_[origin];
+  if (po.joined.empty()) return false;
+  po.joined.clear();
+  ++version_;
+  return true;
+}
+
 std::uint64_t GroupDb::stored_seq(NodeId origin) const {
   return origin < by_origin_.size() ? by_origin_[origin].seq : 0;
+}
+
+std::uint32_t GroupDb::stored_incarnation(NodeId origin) const {
+  return origin < by_origin_.size() ? by_origin_[origin].incarnation : 0;
 }
 
 std::vector<NodeId> GroupDb::members_of(GroupId g) const {

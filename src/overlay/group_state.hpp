@@ -21,17 +21,28 @@ struct GroupStateAd {
   NodeId origin = kInvalidNode;
   std::uint64_t seq = 0;
   std::vector<GroupId> joined;
+  /// Origin's incarnation (see LinkStateAd): freshness is ordered by
+  /// (incarnation, seq), so a crash-recovered origin's restarted seq counter
+  /// still supersedes its previous life's state. Last field so
+  /// {origin, seq, joined} aggregate init keeps meaning life 0.
+  std::uint32_t incarnation = 0;
 };
 
 class GroupDb {
  public:
   explicit GroupDb(std::size_t num_nodes) : by_origin_(num_nodes) {}
 
-  /// Returns true if newer (flood onward exactly then).
+  /// Returns true if newer by (incarnation, seq) (flood onward exactly then).
   bool apply(const GroupStateAd& ad);
+
+  /// Membership eviction: forgets the groups a departed origin had joined
+  /// (its clients are gone with it) while keeping its (incarnation, seq)
+  /// floor against stale floods. Returns true if anything was dropped.
+  bool evict_origin(NodeId origin);
 
   [[nodiscard]] std::uint64_t version() const { return version_; }
   [[nodiscard]] std::uint64_t stored_seq(NodeId origin) const;
+  [[nodiscard]] std::uint32_t stored_incarnation(NodeId origin) const;
 
   /// Overlay nodes with at least one local client joined to `g`, ascending.
   [[nodiscard]] std::vector<NodeId> members_of(GroupId g) const;
@@ -40,6 +51,7 @@ class GroupDb {
  private:
   struct PerOrigin {
     std::uint64_t seq = 0;
+    std::uint32_t incarnation = 0;
     std::vector<GroupId> joined;
   };
   std::vector<PerOrigin> by_origin_;

@@ -102,7 +102,14 @@ class ItPriorityEndpoint final : public ItEndpointBase {
   [[nodiscard]] LinkProtocol protocol() const override { return LinkProtocol::kITPriority; }
 
  private:
-  std::uint64_t key_of(const Message& m) const override { return m.hdr.origin; }
+  /// Fairness identity is the traffic SOURCE, not just the origin node: an
+  /// origin-only key lets one aggressive engine flow monopolize its origin's
+  /// round-robin slot and per-source buffer, starving every other flow from
+  /// that node. source_tag is 0 for plain sends, so untagged traffic keys to
+  /// (origin << 32) and keeps the seed's per-origin behavior.
+  std::uint64_t key_of(const Message& m) const override {
+    return (std::uint64_t{m.hdr.origin} << 32) | m.hdr.source_tag;
+  }
   bool handle_full_queue(Queue& q, Message m) override;
   void transmit(Message m) override;
 };

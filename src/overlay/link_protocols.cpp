@@ -35,6 +35,7 @@ std::size_t control_auth_head_bytes(const LinkFrame& f, std::span<std::uint8_t> 
   put_fixed(p, at, f.hello_seq);
   put_fixed(p, at, f.t_sent.ns());
   put_fixed(p, at, f.channel);
+  put_fixed(p, at, f.incarnation);
   return at;  // == kControlAuthHeadBytes
 }
 
@@ -43,6 +44,7 @@ void control_auth_suffix_into(const LinkFrame& f, std::vector<std::uint8_t>& out
   if (const auto* lsa = std::any_cast<LinkStateAd>(&f.control)) {
     put_raw(out, lsa->origin);
     put_raw(out, lsa->seq);
+    put_raw(out, lsa->incarnation);
     for (const LinkReport& r : lsa->links) {
       put_raw(out, r.link);
       put_raw(out, static_cast<std::uint8_t>(r.up));
@@ -52,6 +54,7 @@ void control_auth_suffix_into(const LinkFrame& f, std::vector<std::uint8_t>& out
   } else if (const auto* gsa = std::any_cast<GroupStateAd>(&f.control)) {
     put_raw(out, gsa->origin);
     put_raw(out, gsa->seq);
+    put_raw(out, gsa->incarnation);
     for (const GroupId g : gsa->joined) put_raw(out, g);
   }
 }

@@ -34,7 +34,9 @@ void TopologyDb::record_change(const topo::EdgeSet& dirty) {
 bool TopologyDb::apply(const LinkStateAd& ad) {
   if (ad.origin >= by_origin_.size()) return false;
   PerOrigin& po = by_origin_[ad.origin];
-  if (ad.seq <= po.seq) return false;
+  if (ad.incarnation < po.incarnation) return false;  // a previous life's flood
+  if (ad.incarnation == po.incarnation && ad.seq <= po.seq) return false;
+  po.incarnation = ad.incarnation;
   po.seq = ad.seq;
   const std::size_t num_edges = base_.num_edges();
   dirty_scratch_.clear();
@@ -102,6 +104,25 @@ bool TopologyDb::apply(const LinkStateAd& ad) {
   return true;
 }
 
+bool TopologyDb::evict_origin(NodeId origin) {
+  if (origin >= by_origin_.size()) return false;
+  PerOrigin& po = by_origin_[origin];
+  if (po.links.empty()) return false;
+  dirty_scratch_.clear();
+  const std::size_t num_edges = base_.num_edges();
+  for (const LinkReport& r : po.links) {
+    if (r.link < num_edges) dirty_scratch_.push_back(r.link);
+  }
+  std::sort(dirty_scratch_.begin(), dirty_scratch_.end());
+  dirty_scratch_.erase(std::unique(dirty_scratch_.begin(), dirty_scratch_.end()),
+                       dirty_scratch_.end());
+  po.links.clear();
+  po.slot_of.assign(num_edges, -1);
+  // po.seq / po.incarnation stay: they are the floor against stale floods.
+  record_change(dirty_scratch_);
+  return true;
+}
+
 void TopologyDb::set_loss_aware(bool aware) {
   loss_aware_ = aware;
   dirty_scratch_.resize(base_.num_edges());
@@ -111,6 +132,10 @@ void TopologyDb::set_loss_aware(bool aware) {
 
 std::uint64_t TopologyDb::stored_seq(NodeId origin) const {
   return origin < by_origin_.size() ? by_origin_[origin].seq : 0;
+}
+
+std::uint32_t TopologyDb::stored_incarnation(NodeId origin) const {
+  return origin < by_origin_.size() ? by_origin_[origin].incarnation : 0;
 }
 
 const LinkReport* TopologyDb::report_from(NodeId origin, LinkBit b) const {

@@ -40,6 +40,12 @@ struct LinkStateAd {
   NodeId origin = kInvalidNode;
   std::uint64_t seq = 0;
   std::vector<LinkReport> links;
+  /// Origin's incarnation number: bumped when the node restarts after a
+  /// crash (its seq counter restarts at 1). Freshness is ordered by
+  /// (incarnation, seq) lexicographically, so a rejoining node's first
+  /// advertisement beats the high-seq state of its previous life. Last
+  /// field so {origin, seq, links} aggregate init keeps meaning life 0.
+  std::uint32_t incarnation = 0;
 };
 
 class TopologyDb {
@@ -50,11 +56,19 @@ class TopologyDb {
 
   /// Integrates an advertisement. Returns true if it was newer than the
   /// stored one for that origin (callers flood it onward exactly then).
-  /// Stale or duplicate sequence numbers are rejected without a version
-  /// bump; an accepted ad bumps the version even when its content is
-  /// unchanged (the change journal then records an empty delta, so
-  /// incremental consumers do no routing work for it).
+  /// Freshness is (incarnation, seq) lexicographic: stale or duplicate
+  /// sequence numbers within an incarnation are rejected without a version
+  /// bump, and an older incarnation is always stale. An accepted ad bumps
+  /// the version even when its content is unchanged (the change journal then
+  /// records an empty delta, so incremental consumers do no routing work for
+  /// it).
   bool apply(const LinkStateAd& ad);
+
+  /// Membership eviction: drops every link report stored for `origin`
+  /// (journaling the affected edges dirty) while keeping its
+  /// (incarnation, seq) floor, so stale floods from the departed life cannot
+  /// re-install state. Returns true if any report was dropped.
+  bool evict_origin(NodeId origin);
 
   /// Ablation knob: when false, link_cost ignores measured loss and uses
   /// latency alone (plain shortest-latency routing). Journals every edge as
@@ -69,6 +83,7 @@ class TopologyDb {
 
   [[nodiscard]] std::uint64_t version() const { return version_; }
   [[nodiscard]] std::uint64_t stored_seq(NodeId origin) const;
+  [[nodiscard]] std::uint32_t stored_incarnation(NodeId origin) const;
 
   /// A link is up iff neither endpoint has reported it down.
   [[nodiscard]] bool link_up(LinkBit b) const;
@@ -94,6 +109,7 @@ class TopologyDb {
  private:
   struct PerOrigin {
     std::uint64_t seq = 0;
+    std::uint32_t incarnation = 0;
     std::vector<LinkReport> links;
     /// LinkBit -> index into links (-1 absent); sized num_edges once the
     /// origin has reported at least once.

@@ -1,0 +1,150 @@
+// Overlay membership under churn: who is currently part of the overlay, at
+// which incarnation, and when we last heard from them.
+//
+// The paper's overlay is provisioned as a fixed set of "a few tens" of
+// nodes, but the nodes themselves come and go: processes crash and recover,
+// machines leave and rejoin. Membership is therefore LIVENESS over the
+// provisioned set, derived entirely from control-plane evidence (hellos from
+// neighbors, LSA/GSA floods from everyone): an origin that goes silent past
+// a timeout is declared departed and every per-origin database entry for it
+// is evicted; an origin heard at a new incarnation has (re)joined.
+//
+// Two pieces live here:
+//   * LivenessProber — the per-channel hysteresis state machine behind the
+//     hello protocol's up/down verdicts (down after N consecutive misses,
+//     up after M consecutive successes; M=1 reproduces the original
+//     single-reply revival).
+//   * MembershipDb — the per-origin incarnation + last-heard table a node
+//     sweeps on its state-refresh tick to find departed origins.
+//
+// Both are pure state machines (no simulator handle): verdicts are a
+// function of the evidence sequence alone, which keeps churn runs
+// bit-identical across sharded worker counts and makes the hysteresis
+// directly unit-testable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/types.hpp"
+#include "sim/time.hpp"
+
+namespace son::overlay {
+
+/// Hysteresis state machine for one probed channel: a single lost probe
+/// never flips the verdict (no LSA flap from one dropped hello), and a
+/// configurable success streak is required to declare a dead channel alive
+/// again (no flap from one lucky reply through a failing path).
+class LivenessProber {
+ public:
+  struct Config {
+    /// Consecutive misses before an up channel is declared down.
+    std::uint32_t down_after_misses = 3;
+    /// Consecutive successes before a down channel is declared up again.
+    /// 1 = a single reply revives (the pre-hysteresis behavior).
+    std::uint32_t up_after_successes = 1;
+  };
+
+  LivenessProber() = default;
+  explicit LivenessProber(Config cfg) : cfg_{cfg} {}
+
+  /// Records a lost probe. Returns true iff the verdict flipped up -> down.
+  bool on_miss() {
+    successes_ = 0;
+    ++misses_;
+    if (up_ && misses_ >= cfg_.down_after_misses) {
+      up_ = false;
+      return true;
+    }
+    return false;
+  }
+
+  /// Records a successful probe. Returns true iff the verdict flipped
+  /// down -> up.
+  bool on_success() {
+    misses_ = 0;
+    if (up_) return false;
+    ++successes_;
+    if (successes_ >= cfg_.up_after_successes) {
+      up_ = true;
+      successes_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool up() const { return up_; }
+  [[nodiscard]] std::uint32_t consecutive_misses() const { return misses_; }
+
+  /// Back to the initial optimistic state (fresh channel after a restart).
+  void reset() {
+    up_ = true;
+    misses_ = 0;
+    successes_ = 0;
+  }
+
+ private:
+  Config cfg_{};
+  bool up_ = true;
+  std::uint32_t misses_ = 0;
+  std::uint32_t successes_ = 0;
+};
+
+/// Per-origin membership view: highest incarnation heard, when, and whether
+/// the origin is currently considered part of the overlay. Fed by every
+/// control-plane receipt; swept periodically for silence.
+class MembershipDb {
+ public:
+  struct Entry {
+    std::uint32_t incarnation = 0;
+    sim::TimePoint last_heard;
+    bool alive = false;
+    /// Lifetimes observed: 0 until first heard, then 1 + number of
+    /// incarnation bumps (a crash-recover cycle counts once).
+    std::uint32_t joins = 0;
+  };
+
+  explicit MembershipDb(std::size_t num_nodes) : entries_(num_nodes) {}
+
+  /// Records control-plane evidence of `origin` at `incarnation`. Evidence
+  /// from an older incarnation is a pre-crash ghost and is ignored. Returns
+  /// true iff this (re)admitted the origin — first contact, a new
+  /// incarnation, or life after an eviction.
+  bool heard_from(NodeId origin, std::uint32_t incarnation, sim::TimePoint now) {
+    if (origin >= entries_.size()) return false;
+    Entry& e = entries_[origin];
+    if (e.joins != 0 && incarnation < e.incarnation) return false;
+    const bool joined = e.joins == 0 || !e.alive || incarnation > e.incarnation;
+    if (joined) ++e.joins;
+    e.incarnation = incarnation;
+    e.last_heard = now;
+    e.alive = true;
+    return joined;
+  }
+
+  /// Appends to `out` every alive origin whose last evidence is strictly
+  /// older than `cutoff`, marking each departed (ascending NodeId order, so
+  /// eviction processing is deterministic).
+  void sweep(sim::TimePoint cutoff, std::vector<NodeId>& out) {
+    for (NodeId n = 0; n < entries_.size(); ++n) {
+      Entry& e = entries_[n];
+      if (e.alive && e.last_heard < cutoff) {
+        e.alive = false;
+        out.push_back(n);
+      }
+    }
+  }
+
+  [[nodiscard]] const Entry& entry(NodeId origin) const { return entries_.at(origin); }
+  [[nodiscard]] std::size_t alive_count() const {
+    std::size_t n = 0;
+    for (const Entry& e : entries_) n += e.alive ? 1 : 0;
+    return n;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace son::overlay

@@ -24,8 +24,13 @@ struct MessageHeader {
   NodeId origin = kInvalidNode;          // overlay node that introduced the message
   VirtualPort src_port = 0;              // originating client's virtual port
   Destination dest;
-  /// Unique message id: (origin << 48) | per-origin counter. Dedup key for
-  /// redundant dissemination.
+  /// Unique message id:
+  ///   (origin << 48) | ((incarnation & 0xFF) << 40) | per-origin counter.
+  /// Dedup key for redundant dissemination. Folding the origin's incarnation
+  /// into the id makes dedup and receive windows implicitly
+  /// (origin, incarnation)-keyed, so a recovered node's fresh counter never
+  /// collides with its previous life's ids. Incarnation 0 reproduces the
+  /// original (origin << 48) | counter layout bit-for-bit.
   std::uint64_t origin_id = 0;
   /// Per-flow sequence number at the origin (gap detection, reordering).
   std::uint64_t flow_seq = 0;
@@ -45,6 +50,12 @@ struct MessageHeader {
   /// Overlay hops already traversed; bounds transient routing loops while
   /// link-state views converge (overlay TTL).
   std::uint8_t hops = 0;
+  /// Scheduling identity of the traffic source behind this message (the
+  /// FlowEngine flow tag; 0 for plain client sends). Fair queueing keys on
+  /// (origin, source_tag) so one aggressive flow cannot starve other flows
+  /// from the same origin. Like nm_*/ordered/hops, this is transport
+  /// metadata outside the authenticated head.
+  std::uint32_t source_tag = 0;
 };
 
 struct Message {

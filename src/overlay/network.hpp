@@ -49,6 +49,10 @@ class OverlayNetwork {
   OverlayNode& node(NodeId id) { return *nodes_.at(id); }
   [[nodiscard]] const topo::Graph& designed_topology() const { return graph_; }
   sim::Simulator& simulator() { return sim_; }
+  /// Non-null iff sharded-deployed. Churn scripts schedule through the
+  /// kernel's control-sim path so events land identically for any worker
+  /// count.
+  [[nodiscard]] sim::ShardedKernel* sharded_kernel() { return kernel_; }
 
  private:
   /// Shared deployment loop; `sim_of` / `rng_of` pick each node's simulator

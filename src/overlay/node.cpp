@@ -75,13 +75,15 @@ OverlayNode::OverlayNode(sim::Simulator& sim, net::Internet& internet, net::Host
       rng_{rng},
       topo_db_{std::move(overlay_topology)},
       group_db_{topo_db_.base_graph().num_nodes()},
-      router_{id, topo_db_, group_db_} {
+      router_{id, topo_db_, group_db_},
+      membership_{topo_db_.base_graph().num_nodes()} {
+  const LivenessProber::Config prober_cfg{cfg_.hello_miss_threshold, cfg_.hello_up_threshold};
   for (auto& spec : neighbors) {
     NeighborLink nl;
     nl.spec = spec;
     assert(!spec.channels.empty());
     for (const Channel& ch : spec.channels) {
-      nl.channels.push_back(ChannelState{ch, true, 0, 1, {}, {},
+      nl.channels.push_back(ChannelState{ch, LivenessProber{prober_cfg}, 1, {}, {},
                                          sim::Duration::milliseconds(10)});
     }
     nl.ctx = std::make_unique<NodeLinkContext>(*this, spec.link);
@@ -104,6 +106,8 @@ OverlayNode::OverlayNode(sim::Simulator& sim, net::Internet& internet, net::Host
   obs_dedup_dropped_ = obs::counter("overlay.dedup.dropped");
   obs_compromised_dropped_ = obs::counter("overlay.route.compromised_dropped");
   obs_protocol_drops_ = obs::counter("overlay.link.protocol_drops");
+  obs_origin_evictions_ = obs::counter("overlay.membership.origin_evictions");
+  obs_cache_evictions_ = obs::counter("overlay.membership.cache_evictions");
 }
 
 OverlayNode::~OverlayNode() {
@@ -156,8 +160,11 @@ bool ClientEndpoint::send_flow(const Destination& dest, Payload payload, const S
   // tagged keys out of the untagged keyspace.
   const std::uint64_t key = hash_mix(flow_key_of(node_.id(), port_, dest) ^
                                      (0xF10EULL << 48) ^ flow_tag);
+  // The tag doubles as the fairness identity: the IT fair scheduler keys
+  // per-source storage and round-robin on (origin, source_tag), so 100k
+  // engine flows from distinct tags do not collapse into one source.
   return node_.client_send_impl(*this, dest, std::move(payload), spec, node_.sim_.now(), key,
-                                flow_seq);
+                                flow_seq, flow_tag);
 }
 
 void ClientEndpoint::join(GroupId g) {
@@ -179,6 +186,7 @@ void OverlayNode::refresh_group_ad() {
   GroupStateAd ad;
   ad.origin = id_;
   ad.seq = ++own_group_seq_;
+  ad.incarnation = incarnation_;
   for (const auto& [port, client] : clients_) {
     for (const GroupId g : client->joined_) {
       if (std::find(ad.joined.begin(), ad.joined.end(), g) == ad.joined.end()) {
@@ -195,20 +203,21 @@ bool OverlayNode::client_send(ClientEndpoint& client, const Destination& dest, P
   const std::uint64_t flow_key = flow_key_of(id_, client.port_, dest);
   const std::uint64_t flow_seq = ++client.flow_seq_[flow_key];
   return client_send_impl(client, dest, std::move(payload), spec, origin_time, flow_key,
-                          flow_seq);
+                          flow_seq, /*source_tag=*/0);
 }
 
 bool OverlayNode::client_send_impl(ClientEndpoint& client, const Destination& dest,
                                    Payload payload, const ServiceSpec& spec,
                                    sim::TimePoint origin_time, std::uint64_t flow_key,
-                                   std::uint64_t flow_seq) {
+                                   std::uint64_t flow_seq, std::uint32_t source_tag) {
   Message msg;
   msg.hdr.origin = id_;
   msg.hdr.src_port = client.port_;
   msg.hdr.dest = dest;
   msg.hdr.flow_key = flow_key;
   msg.hdr.flow_seq = flow_seq;
-  msg.hdr.origin_id = (std::uint64_t{id_} << 48) | next_origin_counter_++;
+  msg.hdr.source_tag = source_tag;
+  msg.hdr.origin_id = make_origin_id();
   msg.hdr.scheme = spec.scheme;
   msg.hdr.link_protocol = spec.link_protocol;
   msg.hdr.origin_time = origin_time;
@@ -475,6 +484,7 @@ bool OverlayNode::is_control_frame(FrameType t) {
 
 void OverlayNode::send_frame_on_link(NeighborLink& nl, LinkFrame f) {
   if (crashed_) return;  // and says nothing
+  f.incarnation = incarnation_;
   // Intrusion-tolerant deployments authenticate the control plane hop-by-hop
   // so outsiders cannot inject hellos or forge topology/membership state.
   if (cfg_.authenticate && keys_ != nullptr && is_control_frame(f.type)) {
@@ -521,6 +531,100 @@ void OverlayNode::send_frame_on_link(NeighborLink& nl, LinkFrame f) {
 
 void OverlayNode::set_crashed(bool crashed) { crashed_ = crashed; }
 
+void OverlayNode::restart() {
+  ++incarnation_;
+  crashed_ = false;
+  // Volatile per-message state restarts at its initial values; the bumped
+  // incarnation (in origin ids, frames and advertisements) is what keeps the
+  // new life's identifiers disjoint from the old one's.
+  next_origin_counter_ = 1;
+  own_lsa_seq_ = 0;
+  own_group_seq_ = 0;
+  dedup_ = DedupCache{};
+  reorder_.clear();
+  flow_stats_.clear();
+  sign_suffix_valid_ = false;
+  const LivenessProber::Config prober_cfg{cfg_.hello_miss_threshold, cfg_.hello_up_threshold};
+  for (auto& nl : links_) {
+    nl.endpoints.clear();
+    nl.active_channel = 0;
+    nl.up = true;
+    nl.adv_up = true;
+    nl.adv_latency_ms = 0.0;
+    nl.adv_loss = 0.0;
+    nl.peer_incarnation = 0;  // relearned from the peer's next frame
+    for (ChannelState& ch : nl.channels) {
+      ch.prober = LivenessProber{prober_cfg};
+      ch.next_hello_seq = 1;
+      ch.outstanding.clear();
+      ch.window.clear();
+      ch.srtt = sim::Duration::milliseconds(10);
+    }
+  }
+  // Learned remote state was volatile too. Evicting (rather than zeroing)
+  // keeps each origin's (incarnation, seq) floor, so stale floods still in
+  // flight cannot re-install a previous life's state; live origins re-flood
+  // within ~state_refresh and repopulate everything.
+  const auto n = static_cast<NodeId>(topo_db_.base_graph().num_nodes());
+  for (NodeId o = 0; o < n; ++o) {
+    if (o == id_) continue;
+    topo_db_.evict_origin(o);
+    group_db_.evict_origin(o);
+    router_.evict_origin(o);
+  }
+  membership_ = MembershipDb{topo_db_.base_graph().num_nodes()};
+  if (started_) {
+    // Rejoin: advertise own state immediately under the new incarnation.
+    refresh_link_ad(/*force_flood=*/true);
+    refresh_group_ad();
+  }
+}
+
+bool OverlayNode::admit_peer_incarnation(NeighborLink& nl, const LinkFrame& f) {
+  membership_.heard_from(f.from, f.incarnation, sim_.now());
+  if (f.incarnation < nl.peer_incarnation) {
+    ++stats_.stale_incarnation_drops;
+    return false;  // a pre-crash ghost still in flight
+  }
+  if (f.incarnation > nl.peer_incarnation) {
+    nl.peer_incarnation = f.incarnation;
+    ++stats_.peer_restarts_seen;
+    // The peer restarted: its senders are at seq 1 again and its receivers
+    // have empty windows, so every per-link protocol endpoint for this
+    // neighbor is reset (both roles live in the same endpoint objects).
+    nl.endpoints.clear();
+    if (tracer_.enabled(sim::TraceLevel::kInfo)) {
+      trace(sim::TraceLevel::kInfo,
+            "peer " + std::to_string(nl.spec.peer) + " restarted (incarnation " +
+                std::to_string(f.incarnation) + "); link state reset");
+    }
+  }
+  return true;
+}
+
+void OverlayNode::sweep_departed_origins() {
+  if (cfg_.dead_origin_timeout <= sim::Duration::zero()) return;
+  const sim::TimePoint now = sim_.now();
+  // Startup grace: nothing can be "silent for the timeout" before one
+  // timeout has elapsed since t=0.
+  if (now < sim::TimePoint::zero() + cfg_.dead_origin_timeout) return;
+  departed_scratch_.clear();
+  membership_.sweep(now - cfg_.dead_origin_timeout, departed_scratch_);
+  for (const NodeId origin : departed_scratch_) {
+    if (origin == id_) continue;
+    topo_db_.evict_origin(origin);
+    group_db_.evict_origin(origin);
+    const std::size_t cache_entries = router_.evict_origin(origin);
+    ++stats_.origin_evictions;
+    obs_origin_evictions_.add();
+    if (cache_entries > 0) obs_cache_evictions_.add(cache_entries);
+    if (tracer_.enabled(sim::TraceLevel::kInfo)) {
+      trace(sim::TraceLevel::kInfo,
+            "origin " + std::to_string(origin) + " departed; state evicted");
+    }
+  }
+}
+
 void OverlayNode::on_datagram(const net::Datagram& d) {
   if (crashed_) return;  // a crashed node hears nothing
   const auto* f = d.payload.get<LinkFrame>();
@@ -549,6 +653,13 @@ void OverlayNode::on_frame(LinkFrame f) {
       ++stats_.control_auth_failures;
       return;
     }
+  }
+  // Incarnation discipline runs after authentication (a forged frame must
+  // not reset link state) and before any handler: ghosts from a neighbor's
+  // previous life are dropped, and a bumped incarnation resets the link.
+  if (NeighborLink* nl = link_by_bit(f.link);
+      nl != nullptr && f.from == nl->spec.peer && !admit_peer_incarnation(*nl, f)) {
+    return;
   }
   switch (f.type) {
     case FrameType::kHello:
@@ -588,13 +699,12 @@ void OverlayNode::hello_tick() {
         if (now - it->second >= hello_timeout) {
           ch.window.push_back(false);
           if (ch.window.size() > cfg_.hello_window) ch.window.pop_front();
-          ++ch.consecutive_misses;
+          ch.prober.on_miss();
           it = ch.outstanding.erase(it);
         } else {
           ++it;
         }
       }
-      if (ch.consecutive_misses >= cfg_.hello_miss_threshold) ch.alive = false;
       send_hello(nl, c);
     }
     evaluate_link(nl);
@@ -644,9 +754,7 @@ void OverlayNode::handle_hello_reply(const LinkFrame& f) {
   ch.srtt = ch.srtt * 0.875 + rtt * 0.125;
   ch.window.push_back(true);
   if (ch.window.size() > cfg_.hello_window) ch.window.pop_front();
-  ch.consecutive_misses = 0;
-  if (!ch.alive) {
-    ch.alive = true;
+  if (ch.prober.on_success()) {
     evaluate_link(*nl);
     refresh_link_ad(/*force_flood=*/false);
   }
@@ -664,7 +772,7 @@ void OverlayNode::evaluate_link(NeighborLink& nl) {
   double best_score = 1e18;
   for (std::size_t c = 0; c < nl.channels.size(); ++c) {
     const ChannelState& ch = nl.channels[c];
-    if (!ch.alive) continue;
+    if (!ch.prober.up()) continue;
     // Loss dominates (bucketed so jitter does not flap channels); RTT breaks
     // ties.
     const double score = std::round(channel_loss(ch) * 50.0) * 1e6 + ch.srtt.to_millis_f();
@@ -710,6 +818,7 @@ void OverlayNode::refresh_link_ad(bool force_flood) {
   LinkStateAd ad;
   ad.origin = id_;
   ad.seq = ++own_lsa_seq_;
+  ad.incarnation = incarnation_;
   for (auto& nl : links_) {
     const ChannelState& ch = nl.channels[static_cast<std::size_t>(nl.active_channel)];
     LinkReport r;
@@ -752,23 +861,28 @@ void OverlayNode::flood_control(FrameType type, std::any control, LinkBit arrive
 std::span<const std::uint8_t> OverlayNode::control_suffix_for_sign(const LinkFrame& f) {
   NodeId origin = kInvalidNode;
   std::uint64_t seq = 0;
+  std::uint32_t incarnation = 0;
   if (const auto* lsa = std::any_cast<LinkStateAd>(&f.control)) {
     origin = lsa->origin;
     seq = lsa->seq;
+    incarnation = lsa->incarnation;
   } else if (const auto* gsa = std::any_cast<GroupStateAd>(&f.control)) {
     origin = gsa->origin;
     seq = gsa->seq;
+    incarnation = gsa->incarnation;
   } else {
     return {};  // hellos carry no advertisement body
   }
-  // Ad content is immutable per (type, origin, seq): origins bump seq on
-  // every new advertisement, so the key fully addresses the bytes.
+  // Ad content is immutable per (type, origin, incarnation, seq): origins
+  // bump seq on every new advertisement within a life and restart seq in a
+  // fresh incarnation, so the triple fully addresses the bytes.
   if (!sign_suffix_valid_ || sign_suffix_type_ != f.type || sign_suffix_origin_ != origin ||
-      sign_suffix_seq_ != seq) {
+      sign_suffix_seq_ != seq || sign_suffix_incarnation_ != incarnation) {
     control_auth_suffix_into(f, sign_suffix_);
     sign_suffix_type_ = f.type;
     sign_suffix_origin_ = origin;
     sign_suffix_seq_ = seq;
+    sign_suffix_incarnation_ = incarnation;
     sign_suffix_valid_ = true;
   }
   return std::span<const std::uint8_t>{sign_suffix_};
@@ -777,6 +891,8 @@ std::span<const std::uint8_t> OverlayNode::control_suffix_for_sign(const LinkFra
 void OverlayNode::handle_lsa(const LinkFrame& f) {
   const auto* ad = std::any_cast<LinkStateAd>(&f.control);
   if (ad == nullptr) return;
+  // Any flood is membership evidence, even a duplicate the db rejects.
+  membership_.heard_from(ad->origin, ad->incarnation, sim_.now());
   if (topo_db_.apply(*ad)) {
     flood_control(FrameType::kLsa, f.control, f.link);
   }
@@ -785,12 +901,15 @@ void OverlayNode::handle_lsa(const LinkFrame& f) {
 void OverlayNode::handle_group_state(const LinkFrame& f) {
   const auto* ad = std::any_cast<GroupStateAd>(&f.control);
   if (ad == nullptr) return;
+  membership_.heard_from(ad->origin, ad->incarnation, sim_.now());
   if (group_db_.apply(*ad)) {
     flood_control(FrameType::kGroupState, f.control, f.link);
   }
 }
 
 void OverlayNode::state_refresh_tick() {
+  membership_.heard_from(id_, incarnation_, sim_.now());  // we are our own evidence
+  sweep_departed_origins();
   refresh_link_ad(/*force_flood=*/true);
   refresh_group_ad();
   refresh_timer_ = sim_.schedule(cfg_.state_refresh, [this]() { state_refresh_tick(); });

@@ -19,6 +19,7 @@
 #include "overlay/group_state.hpp"
 #include "overlay/link_protocols.hpp"
 #include "overlay/link_state.hpp"
+#include "overlay/membership.hpp"
 #include "overlay/reorder_buffer.hpp"
 #include "overlay/routing.hpp"
 #include "sim/random.hpp"
@@ -33,11 +34,23 @@ struct NodeConfig {
   /// or, if none is alive, is advertised down (then: sub-second rerouting).
   sim::Duration hello_interval = sim::Duration::milliseconds(100);
   std::uint32_t hello_miss_threshold = 3;
+  /// Liveness-prober up-hysteresis: consecutive hello replies needed before
+  /// a dead channel is declared alive again. 1 = a single reply revives (the
+  /// original behavior); churn deployments raise it so one lucky reply
+  /// through a flapping path does not re-advertise the link up.
+  std::uint32_t hello_up_threshold = 1;
   /// Sliding window (in hellos) for per-channel loss estimation.
   std::size_t hello_window = 50;
 
   /// Periodic re-advertisement of own link/group state (repairs lost floods).
   sim::Duration state_refresh = sim::Duration::seconds(1);
+  /// Membership: an origin silent (no LSA/GSA/hello evidence) for this long
+  /// is declared departed on the state-refresh tick and ALL its per-origin
+  /// state is evicted — topology reports, group joins, and the router's
+  /// cached trees/masks. Zero disables eviction (the static-membership
+  /// behavior); churn deployments set ~3-4x state_refresh so a live origin's
+  /// periodic re-floods comfortably outrun the timeout.
+  sim::Duration dead_origin_timeout = sim::Duration::zero();
   /// Immediate floods are sent this many times, spaced, for robustness.
   std::uint32_t flood_copies = 2;
   sim::Duration flood_spacing = sim::Duration::milliseconds(15);
@@ -158,6 +171,9 @@ struct NodeStats {
   std::uint64_t lsa_floods = 0;
   std::uint64_t control_auth_failures = 0;  // forged/tampered control frames
   std::uint64_t ttl_expired = 0;            // overlay-level loop protection
+  std::uint64_t origin_evictions = 0;       // departed origins swept from the DBs
+  std::uint64_t stale_incarnation_drops = 0;  // pre-crash ghost frames dropped
+  std::uint64_t peer_restarts_seen = 0;       // neighbor incarnation bumps observed
 };
 
 class OverlayNode {
@@ -219,9 +235,24 @@ class OverlayNode {
   /// Crash-stop failure: a crashed node sends nothing (hellos included — its
   /// neighbors detect the silence and advertise the links down) and ignores
   /// everything it receives. Restore with set_crashed(false); the node
-  /// resumes with its pre-crash state (fail-recover model).
+  /// resumes with its pre-crash state (fail-recover model with stable
+  /// storage). For a recovery that LOST volatile state, use restart().
   void set_crashed(bool crashed);
   [[nodiscard]] bool crashed() const { return crashed_; }
+
+  /// Cold crash-recovery: the process comes back with its volatile state
+  /// gone. Bumps the incarnation number (carried in every frame, LSA and
+  /// GSA, and folded into origin ids), restarts the per-origin counters and
+  /// sequence numbers at their initial values, resets every link's channel
+  /// probers and protocol endpoints, forgets learned topology/group/
+  /// membership state (relearned from floods within ~state_refresh), and
+  /// immediately re-advertises under the new incarnation. Also clears the
+  /// crashed flag, so crash(t) + restart(t') scripts a crash-recover cycle.
+  void restart();
+  /// This node's current incarnation number (0 until the first restart).
+  [[nodiscard]] std::uint32_t incarnation() const { return incarnation_; }
+  /// Membership view of the whole overlay as this node sees it.
+  [[nodiscard]] const MembershipDb& membership() const { return membership_; }
 
   /// The protocol endpoint instance for (link, proto), if one has been
   /// created by traffic; nullptr otherwise. For stats inspection
@@ -260,8 +291,9 @@ class OverlayNode {
  private:
   struct ChannelState {
     Channel attach;
-    bool alive = true;
-    std::uint32_t consecutive_misses = 0;
+    /// Up/down hysteresis over hello outcomes (configured from
+    /// hello_miss_threshold / hello_up_threshold).
+    LivenessProber prober;
     std::uint64_t next_hello_seq = 1;
     std::map<std::uint64_t, sim::TimePoint> outstanding;  // hello seq -> sent
     std::deque<bool> window;                              // recent hello outcomes
@@ -276,6 +308,11 @@ class OverlayNode {
     bool adv_up = true;
     double adv_latency_ms = 0.0;
     double adv_loss = 0.0;
+    /// Highest incarnation seen from the peer on this link. A frame carrying
+    /// a higher one means the peer restarted: all per-link protocol state
+    /// (receive windows, ack state) is void and the endpoints are reset.
+    /// Frames from an older incarnation are dropped as pre-crash ghosts.
+    std::uint32_t peer_incarnation = 0;
     // ctx must outlive the endpoints (their destructors cancel timers
     // through it), so it is declared first.
     std::unique_ptr<class NodeLinkContext> ctx;
@@ -296,7 +333,18 @@ class OverlayNode {
   /// send_flow from the FlowEngine's tagged SoA tables.
   bool client_send_impl(ClientEndpoint& client, const Destination& dest, Payload payload,
                         const ServiceSpec& spec, sim::TimePoint origin_time,
-                        std::uint64_t flow_key, std::uint64_t flow_seq);
+                        std::uint64_t flow_key, std::uint64_t flow_seq,
+                        std::uint32_t source_tag);
+  /// Unique message id layout: (origin << 48) | (incarnation low byte << 40)
+  /// | per-incarnation counter. Folding the incarnation in keeps a restarted
+  /// origin's ids disjoint from its pre-crash ids, so dedup caches and
+  /// receive windows keyed by origin_id are implicitly (origin, incarnation)
+  /// keyed. Incarnation 0 reproduces the original layout bit-for-bit.
+  [[nodiscard]] std::uint64_t make_origin_id() {
+    return (std::uint64_t{id_} << 48) |
+           (std::uint64_t{incarnation_ & 0xFF} << 40) |
+           (next_origin_counter_++ & ((std::uint64_t{1} << 40) - 1));
+  }
   void refresh_group_ad();
   void deliver_to_session(const Message& msg);
   void deliver_to_client(const Message& msg);
@@ -315,6 +363,15 @@ class OverlayNode {
   void send_frame_on_link(NeighborLink& nl, LinkFrame f);
   NeighborLink* link_by_bit(LinkBit b);
   LinkProtocolEndpoint& endpoint(NeighborLink& nl, LinkProtocol proto);
+
+  // --- Membership & churn ---
+  /// Frame-level incarnation discipline for a frame from `nl`'s peer:
+  /// returns false (drop) for pre-crash ghosts, and resets the link's
+  /// protocol endpoints when the peer restarted. Membership evidence is
+  /// recorded either way.
+  bool admit_peer_incarnation(NeighborLink& nl, const LinkFrame& f);
+  /// Sweeps origins silent past dead_origin_timeout and evicts their state.
+  void sweep_departed_origins();
 
   // --- Hello protocol & link health ---
   void hello_tick();
@@ -356,6 +413,7 @@ class OverlayNode {
   GroupDb group_db_;
   Router router_;
   DedupCache dedup_;
+  MembershipDb membership_;
   std::vector<NeighborLink> links_;
 
   std::map<VirtualPort, std::unique_ptr<ClientEndpoint>> clients_;
@@ -374,11 +432,16 @@ class OverlayNode {
   FrameType sign_suffix_type_ = FrameType::kData;
   NodeId sign_suffix_origin_ = kInvalidNode;
   std::uint64_t sign_suffix_seq_ = 0;
+  // Seq resets when an origin restarts, so (origin, seq) alone can recur
+  // with different ad bytes; incarnation completes the cache key.
+  std::uint32_t sign_suffix_incarnation_ = 0;
   bool sign_suffix_valid_ = false;
 
   std::uint64_t own_lsa_seq_ = 0;
   std::uint64_t own_group_seq_ = 0;
   std::uint64_t next_origin_counter_ = 1;
+  std::uint32_t incarnation_ = 0;
+  std::vector<NodeId> departed_scratch_;
   sim::EventId hello_timer_ = sim::kInvalidEventId;
   sim::EventId refresh_timer_ = sim::kInvalidEventId;
   std::vector<sim::EventId> flood_timers_;
@@ -396,6 +459,8 @@ class OverlayNode {
   obs::Counter obs_dedup_dropped_;
   obs::Counter obs_compromised_dropped_;
   obs::Counter obs_protocol_drops_;
+  obs::Counter obs_origin_evictions_;
+  obs::Counter obs_cache_evictions_;
 };
 
 }  // namespace son::overlay

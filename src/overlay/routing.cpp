@@ -108,6 +108,13 @@ void Router::evict_stale_caches() {
   cache_swept_group_ = gv;
 }
 
+std::size_t Router::evict_origin(NodeId origin) {
+  std::size_t n = std::erase_if(tree_cache_,
+                                [&](const auto& kv) { return kv.first.first == origin; });
+  n += std::erase_if(mask_cache_, [&](const auto& kv) { return kv.first.dst == origin; });
+  return n;
+}
+
 const std::vector<LinkBit>& Router::multicast_links(NodeId tree_src, GroupId group,
                                                     LinkBit arrived_on) {
   evict_stale_caches();  // surviving entries are stamped with the live versions

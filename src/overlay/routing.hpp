@@ -63,6 +63,14 @@ class Router {
   /// TopologyDb::set_incremental(false) for the full pre-change pipeline).
   void set_force_full_spt(bool force) { force_full_spt_ = force; }
 
+  /// Membership eviction: immediately drops every cached answer involving a
+  /// departed origin — multicast trees rooted at it and source masks toward
+  /// it. The version-stamped sweep would age these out on the next topology
+  /// or membership change anyway; the explicit evict bounds memory even when
+  /// the departure itself is the last change for a while. Returns the number
+  /// of cache entries dropped.
+  std::size_t evict_origin(NodeId origin);
+
   /// Cache occupancy, exposed so tests can pin the eviction policy.
   [[nodiscard]] std::size_t tree_cache_size() const { return tree_cache_.size(); }
   [[nodiscard]] std::size_t mask_cache_size() const { return mask_cache_.size(); }
@@ -97,8 +105,9 @@ class Router {
   topo::EdgeSet delta_scratch_;
 
   // Multicast tree cache: (src, group) -> edges, stamped with both versions.
-  // Stale-stamped entries are evicted on version change, so the cache never
-  // outgrows live (src, group) pairs across long churn runs.
+  // Stale-stamped entries are evicted on version change, and evict_origin()
+  // drops a departed origin's entries eagerly, so the cache never outgrows
+  // live (src, group) pairs across long churn runs.
   struct TreeEntry {
     std::uint64_t topo_version;
     std::uint64_t group_version;

@@ -51,7 +51,7 @@ TEST(OptionsDeath, MissingValueAtEndOfArgvExits) {
   // The regression ASan caught: "--reps" as the last argument must not read
   // argv[argc]. Every value-taking flag gets the same treatment.
   for (const char* flag : {"--reps", "--jobs", "--shards", "--flows", "--load-curve",
-                           "--seed-base", "--seeds", "--json-out"}) {
+                           "--churn", "--seed-base", "--seeds", "--json-out"}) {
     EXPECT_EXIT(parse_and_exit_code({"bench", flag}), ::testing::ExitedWithCode(2),
                 "needs a value")
         << flag;
@@ -149,6 +149,46 @@ TEST(Options, ShardsParsesAndResolves) {
     EXPECT_EQ(o.shards, 0);
     EXPECT_GE(o.resolved_shards(), 1u);
   }
+}
+
+TEST(Options, ChurnParses) {
+  {
+    Argv a{{"bench", "--churn", "1.5"}};
+    int argc = 0;
+    const Options o = parse(a, argc);
+    EXPECT_DOUBLE_EQ(o.churn_rate, 1.5);
+    EXPECT_EQ(o.churn_model, "poisson");  // default model
+    EXPECT_EQ(argc, 1);
+  }
+  {
+    Argv a{{"bench", "--churn", "0.25,periodic"}};
+    int argc = 0;
+    const Options o = parse(a, argc);
+    EXPECT_DOUBLE_EQ(o.churn_rate, 0.25);
+    EXPECT_EQ(o.churn_model, "periodic");
+  }
+  {
+    Argv a{{"bench"}};
+    int argc = 0;
+    const Options o = parse(a, argc);
+    EXPECT_DOUBLE_EQ(o.churn_rate, 0.0);  // default: bench's own churn policy
+    EXPECT_EQ(o.churn_model, "poisson");
+  }
+}
+
+TEST(OptionsDeath, MalformedChurnExits) {
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--churn", "fast"}),
+              ::testing::ExitedWithCode(2), "RATE");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--churn", "-1"}),
+              ::testing::ExitedWithCode(2), "RATE");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--churn", "nan"}),
+              ::testing::ExitedWithCode(2), "RATE");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--churn", "1.5;periodic"}),
+              ::testing::ExitedWithCode(2), "RATE");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--churn", "1.5,weibull"}),
+              ::testing::ExitedWithCode(2), "poisson or periodic");
+  EXPECT_EXIT(parse_and_exit_code({"bench", "--churn", "1.5,"}),
+              ::testing::ExitedWithCode(2), "poisson or periodic");
 }
 
 TEST(OptionsDeath, HelpExitsZero) {
